@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run Table1
+//	experiments -run all -pages 16384 -minutes 40
+//	experiments -run Fig14 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tppsim/internal/experiments"
+)
+
+func main() {
+	var (
+		runID   = flag.String("run", "", "experiment ID to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		pages   = flag.Uint64("pages", 0, "working-set pages (default 32768)")
+		minutes = flag.Int("minutes", 0, "simulated minutes (default 60)")
+		seed    = flag.Uint64("seed", 0, "random seed (default 1)")
+		csv     = flag.Bool("csv", false, "print figure series as CSV")
+	)
+	flag.Parse()
+
+	if *list || *runID == "" {
+		fmt.Println("experiments:")
+		for _, s := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", s.ID, s.Caption)
+		}
+		if *runID == "" {
+			fmt.Println("\nuse -run <ID> or -run all")
+		}
+		return
+	}
+
+	o := experiments.Options{Pages: *pages, Minutes: *minutes, Seed: *seed}
+	var specs []experiments.Spec
+	if strings.EqualFold(*runID, "all") {
+		specs = experiments.Registry()
+	} else {
+		s, ok := experiments.Find(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *runID)
+			os.Exit(2)
+		}
+		specs = []experiments.Spec{s}
+	}
+
+	for _, s := range specs {
+		res := s.Run(o)
+		fmt.Println(res.Table.String())
+		if *csv {
+			for _, name := range sortedSeries(res) {
+				fmt.Printf("--- series %s/%s ---\n%s", res.ID, name, res.Series[name])
+			}
+		}
+	}
+}
+
+func sortedSeries(r experiments.Result) []string {
+	out := make([]string, 0, len(r.Series))
+	for k := range r.Series {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Command tppsim runs one workload under one placement policy on a
+// simulated CXL tiered-memory machine and prints the results: normalized
+// throughput, local-traffic fraction, and the TPP observability counters
+// (§5.5).
+//
+// Examples:
+//
+//	tppsim -workload Web1 -policy tpp -ratio 2:1 -minutes 60
+//	tppsim -workload Cache1 -policy default -ratio 1:4 -vmstat
+//	tppsim -workload Cache2 -policy all -ratio 2:1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tppsim/internal/core"
+	"tppsim/internal/metrics"
+	"tppsim/internal/sim"
+	"tppsim/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "Cache1", "workload: "+strings.Join(workload.Names(), ", "))
+		policy   = flag.String("policy", "tpp", "policy: default, tpp, numab, autotiering, tmo, tpp+tmo, all")
+		ratio    = flag.String("ratio", "2:1", "local:CXL capacity ratio, or 1:0 for the all-local baseline")
+		minutes  = flag.Int("minutes", 60, "simulated minutes")
+		pages    = flag.Uint64("pages", workload.DefaultTotalPages, "working-set size in 4KB pages")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters")
+		series   = flag.Bool("series", false, "dump the local-traffic time series as CSV")
+	)
+	flag.Parse()
+
+	ctor, ok := workload.Catalog[*wlName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *wlName, strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+	var r0, r1 uint64
+	if _, err := fmt.Sscanf(*ratio, "%d:%d", &r0, &r1); err != nil || r0 == 0 {
+		fmt.Fprintf(os.Stderr, "bad -ratio %q (want e.g. 2:1)\n", *ratio)
+		os.Exit(2)
+	}
+
+	policies, err := selectPolicies(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	for _, p := range policies {
+		m, err := sim.New(sim.Config{
+			Seed:     *seed,
+			Policy:   p,
+			Workload: ctor(*pages),
+			Ratio:    [2]uint64{r0, r1},
+			Minutes:  *minutes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := m.Run()
+		fmt.Println(res.String())
+		if *vmstatFl {
+			fmt.Print(indent(m.Stat().Snapshot().String()))
+		}
+		if *series {
+			dumpSeries(&res.LocalTraffic)
+		}
+	}
+}
+
+func selectPolicies(name string) ([]core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "default":
+		return []core.Policy{core.DefaultLinux()}, nil
+	case "tpp":
+		return []core.Policy{core.TPP()}, nil
+	case "numab":
+		return []core.Policy{core.NUMABalancing()}, nil
+	case "autotiering":
+		return []core.Policy{core.AutoTiering()}, nil
+	case "tmo":
+		return []core.Policy{core.TMOOnly()}, nil
+	case "tpp+tmo":
+		return []core.Policy{core.TPP(core.WithTMO())}, nil
+	case "tpp+pta":
+		return []core.Policy{core.TPP(core.WithPageTypeAware())}, nil
+	case "all":
+		return core.All(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func dumpSeries(s *metrics.Series) {
+	fmt.Println("minute,local_traffic")
+	for i := range s.Y {
+		fmt.Printf("%.1f,%.4f\n", s.X[i], s.Y[i])
+	}
+}

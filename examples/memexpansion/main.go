@@ -1,0 +1,42 @@
+// Memexpansion explores the §6.1.2 memory-expansion setup: local DRAM is
+// only 20% of total memory (1:4), with a large cheap CXL tier behind it.
+// It runs Cache1 under TPP with and without §5.4's page-type-aware
+// allocation, which prefers the CXL node for file/tmpfs caches so that
+// anonymous pages keep the small local node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tppsim"
+)
+
+func main() {
+	configs := []struct {
+		label  string
+		policy tppsim.Policy
+	}{
+		{"default Linux", tppsim.DefaultLinux()},
+		{"TPP", tppsim.TPP()},
+		{"TPP + page-type-aware", tppsim.TPP(tppsim.WithPageTypeAware())},
+	}
+	fmt.Println("Cache1 with local DRAM = 20% of memory (1:4 expansion):")
+	for _, c := range configs {
+		m, err := tppsim.NewMachine(tppsim.MachineConfig{
+			Seed:     1,
+			Policy:   c.policy,
+			Workload: tppsim.Workloads["Cache1"](32 * 1024),
+			Ratio:    [2]uint64{1, 4},
+			Minutes:  40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := m.Run()
+		fmt.Printf("  %-24s throughput=%5.1f%%  local traffic=%5.1f%%\n",
+			c.label, 100*res.NormalizedThroughput, 100*res.AvgLocalTraffic)
+	}
+	fmt.Println("\nEven with local DRAM at 20% of the working set, TPP keeps the hot")
+	fmt.Println("set local (paper: ~85% local traffic, throughput within 0.5% of baseline).")
+}

@@ -1,0 +1,238 @@
+// Package autotiering implements the AutoTiering baseline (Kim, Choe, and
+// Ahn, "Exploring the Design Space of Page Management for Multi-Tiered
+// Memory Systems", USENIX ATC 2021) as the TPP paper characterizes it in
+// §6.3 and §8:
+//
+//   - Background demotion ranks pages by access frequency (a per-epoch
+//     access counter) and migrates the least-frequently-accessed pages to
+//     the CXL node — "a faster reclamation mechanism" than default
+//     reclaim, but driven by timers and counters rather than watermarked
+//     kswapd, which "causes computation overhead and is often inefficient,
+//     especially when pages are infrequently accessed".
+//   - Promotion is optimized NUMA balancing (instant, no active-LRU
+//     filter), but the allocation and reclamation paths stay tightly
+//     coupled: a *fixed-size reserved buffer* on the local node is the
+//     only headroom promotions can use. The buffer is replenished by
+//     demotions; "this reserved buffer eventually fills up during a surge
+//     in CXL-node page accesses", at which point promotion halts.
+//   - On the 1:4 configuration the paper "can not setup AutoTiering …
+//     it frequently crashes right after the warm up phase, when query
+//     fires". We model that instability: when promotion pressure stays
+//     unresolved (no free buffer slots, local node at its emergency
+//     reserve) for several consecutive epochs, the run fails.
+package autotiering
+
+import (
+	"sort"
+
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/migrate"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+)
+
+// Config tunes the AutoTiering baseline.
+type Config struct {
+	// EpochTicks is the access-frequency ranking period. Default 50
+	// (5 simulated seconds at 100 ms ticks).
+	EpochTicks uint64
+	// BufferFraction sizes the reserved promotion buffer as a fraction of
+	// the local node. Default 0.04.
+	BufferFraction float64
+	// DemoteBatch bounds pages demoted per epoch. Default 64 — the
+	// frequency ranking needs a full epoch of counters per batch, which
+	// is the "timer-based hot page detection … computation overhead" the
+	// paper criticizes (§8).
+	DemoteBatch int
+	// CrashEpochs is how many consecutive starved epochs (promotion
+	// demand with zero slots) the implementation survives on a
+	// too-small local node before failing. Default 3.
+	CrashEpochs int
+	// MinLocalFraction is the smallest local-node share of total memory
+	// the implementation tolerates: below it, sustained promotion
+	// starvation crashes the run. The paper reports the crash at 1:4
+	// (local = 20%) without a diagnosis, so the boundary is modeled as a
+	// capacity assertion. Default 0.25.
+	MinLocalFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochTicks == 0 {
+		c.EpochTicks = 50
+	}
+	if c.BufferFraction == 0 {
+		c.BufferFraction = 0.04
+	}
+	if c.DemoteBatch == 0 {
+		c.DemoteBatch = 64
+	}
+	if c.CrashEpochs == 0 {
+		c.CrashEpochs = 3
+	}
+	if c.MinLocalFraction == 0 {
+		c.MinLocalFraction = 0.25
+	}
+	return c
+}
+
+// Tiering is the AutoTiering daemon.
+type Tiering struct {
+	cfg    Config
+	store  *mem.Store
+	topo   *tier.Topology
+	vecs   []*lru.Vec
+	stat   *vmstat.Stat
+	engine *migrate.Engine
+
+	bufferSlots    int // free promotion-buffer slots
+	bufferCapacity int
+	sinceEpoch     uint64
+	starvedEpochs  int
+	starvedNow     bool
+	failed         bool
+}
+
+// New wires the baseline over a machine. The promotion buffer is a slot
+// budget backed by headroom the epoch demotion pass tries to maintain on
+// the local node (free >= high watermark + buffer); slots are consumed by
+// promotions and replenished one-for-one by demotions.
+func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
+	stat *vmstat.Stat, engine *migrate.Engine) *Tiering {
+	t := &Tiering{
+		cfg:    cfg.withDefaults(),
+		store:  store,
+		topo:   topo,
+		vecs:   vecs,
+		stat:   stat,
+		engine: engine,
+	}
+	local := topo.Node(0)
+	t.bufferCapacity = int(float64(local.Capacity) * t.cfg.BufferFraction)
+	t.bufferSlots = t.bufferCapacity
+	return t
+}
+
+// Failed reports whether the implementation has crashed (the paper's 1:4
+// behaviour). Once failed, the simulator aborts the run.
+func (t *Tiering) Failed() bool { return t.failed }
+
+// BufferSlots returns the free promotion-buffer slots (for tests and
+// observability).
+func (t *Tiering) BufferSlots() int { return t.bufferSlots }
+
+// PromotionGate is plugged into numab.Config.PromotionGate: promotions
+// may proceed only while buffer slots remain.
+func (t *Tiering) PromotionGate() bool {
+	if t.bufferSlots > 0 {
+		return true
+	}
+	t.starvedNow = true
+	return false
+}
+
+// OnPromoted consumes a buffer slot (numab.Config.OnPromoted).
+func (t *Tiering) OnPromoted() {
+	if t.bufferSlots > 0 {
+		t.bufferSlots--
+	}
+}
+
+// RecordAccess bumps the page's epoch frequency counter; the simulator
+// calls this for every sampled access.
+func (t *Tiering) RecordAccess(pfn mem.PFN) {
+	pg := t.store.Page(pfn)
+	if pg.AccessEpoch < ^uint32(0) {
+		pg.AccessEpoch++
+	}
+}
+
+// Tick advances the epoch clock. On epoch boundaries it runs the
+// frequency-ranked demotion pass, replenishes buffer slots, updates the
+// crash heuristic, and resets counters. Returns background CPU ns.
+func (t *Tiering) Tick() float64 {
+	if t.failed {
+		return 0
+	}
+	t.sinceEpoch++
+	if t.sinceEpoch < t.cfg.EpochTicks {
+		return 0
+	}
+	t.sinceEpoch = 0
+	spent := t.epoch()
+
+	// Crash heuristic: an epoch during which promotions were refused for
+	// lack of buffer slots is "starved". On a local node below the
+	// implementation's tolerated share of total memory, several starved
+	// epochs in a row crash it (the paper's 1:4 failure).
+	localShare := float64(t.topo.Node(0).Capacity) / float64(t.topo.TotalCapacity())
+	if t.starvedNow && localShare < t.cfg.MinLocalFraction {
+		t.starvedEpochs++
+		if t.starvedEpochs >= t.cfg.CrashEpochs {
+			t.failed = true
+		}
+	} else {
+		t.starvedEpochs = 0
+	}
+	t.starvedNow = false
+	return spent
+}
+
+// epoch performs the frequency-ranked demotion pass on the local node.
+func (t *Tiering) epoch() float64 {
+	const rankNsPerPage = 120 // counter scan cost: the paper's "computation overhead"
+	local := t.topo.Node(0)
+	demoteTo := t.topo.DemotionTarget(local.ID)
+	spent := 0.0
+
+	// Collect candidate pages (both LRU classes, both lists) with their
+	// frequencies. AutoTiering scans everything — that is its overhead.
+	type cand struct {
+		pfn  mem.PFN
+		freq uint32
+	}
+	var cands []cand
+	vec := t.vecs[local.ID]
+	for id := lru.ListID(0); id < lru.ListID(lru.NumLists); id++ {
+		vec.ScanTail(id, int(vec.Size(id)), func(pfn mem.PFN) bool {
+			cands = append(cands, cand{pfn, t.store.Page(pfn).AccessEpoch})
+			return true
+		})
+	}
+	spent += float64(len(cands)) * rankNsPerPage
+
+	// Demote the coldest pages while the node is under pressure.
+	if demoteTo != mem.NilNode && local.Free() < local.WM.High+uint64(t.bufferCapacity) {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].freq < cands[j].freq })
+		demoted := 0
+		for _, c := range cands {
+			if demoted >= t.cfg.DemoteBatch {
+				break
+			}
+			if local.Free() >= local.WM.High+uint64(t.bufferCapacity) {
+				break
+			}
+			if c.freq > 0 {
+				// Only demote cold (zero-frequency) pages; warm pages stay.
+				break
+			}
+			cost, err := t.engine.Migrate(c.pfn, demoteTo, migrate.Demotion)
+			if err != nil {
+				continue
+			}
+			spent += cost
+			demoted++
+			t.stat.Inc(vmstat.PgdemoteKswapd)
+			// A demotion replenishes one promotion-buffer slot.
+			if t.bufferSlots < t.bufferCapacity {
+				t.bufferSlots++
+			}
+		}
+	}
+
+	// Reset the epoch counters.
+	for _, c := range cands {
+		t.store.Page(c.pfn).AccessEpoch = 0
+	}
+	return spent
+}

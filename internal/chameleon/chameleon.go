@@ -1,0 +1,309 @@
+// Package chameleon implements the paper's user-space memory
+// characterization tool (§3): a Collector that samples memory-access
+// events PEBS-style (one sample per N events, with core-group duty
+// cycling and double-buffered hash tables) and a Worker that maintains a
+// 64-bit per-page activeness bitmap, resolves page types through the
+// process's /proc maps, and produces the heat-map and re-access reports
+// behind Figs. 7, 8, 9, and 11.
+//
+// In the simulator the "PEBS event stream" is the workload's access
+// stream: OnAccess receives every sampled access with its virtual page
+// number, exactly the (PID, VA) tuples the real tool gets from
+// MEM_LOAD_RETIRED.L3_MISS records.
+package chameleon
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/xrand"
+)
+
+// Config tunes the profiler; defaults follow §3.
+type Config struct {
+	// SampleRate is the 1-in-N PEBS sampling rate. Default 200 ("one
+	// sample for every 200 events ... a good trade-off between overhead
+	// and accuracy").
+	SampleRate int
+	// Cores and CoreGroups configure duty cycling: only one group's
+	// cores deliver samples at a time, rotating every mini-interval.
+	// Defaults 16 cores in 4 groups.
+	Cores      int
+	CoreGroups int
+	// MiniIntervalTicks is the duty-cycle rotation period. Default 5
+	// (five seconds).
+	MiniIntervalTicks uint64
+	// IntervalTicks is the Worker processing interval — one history bit.
+	// Default 60 (one minute).
+	IntervalTicks uint64
+	// PhysicalTranslation enables the VA→PA lookup (can be disabled for
+	// terabyte-scale targets, §3).
+	PhysicalTranslation bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate == 0 {
+		c.SampleRate = 200
+	}
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.CoreGroups == 0 {
+		c.CoreGroups = 4
+	}
+	if c.MiniIntervalTicks == 0 {
+		c.MiniIntervalTicks = 5
+	}
+	if c.IntervalTicks == 0 {
+		c.IntervalTicks = 60
+	}
+	return c
+}
+
+// Chameleon is one profiler instance attached to one address space.
+type Chameleon struct {
+	cfg   Config
+	as    *pagetable.AddressSpace
+	store *mem.Store
+	rng   *xrand.RNG
+
+	// Collector state: double-buffered sample tables.
+	tables      [2]map[pagetable.VPN]uint32
+	current     int
+	activeGroup int
+
+	// Worker state.
+	history map[pagetable.VPN]uint64
+	reacc   ReaccessStats
+
+	intervals       int
+	samples         uint64
+	workerProcessed uint64
+	sinceMini       uint64
+	sinceInterval   uint64
+}
+
+// New attaches a profiler to an address space. The store is used only for
+// optional physical translation sanity (the worker consults the page
+// table, its /proc/$PID/pagemap).
+func New(cfg Config, as *pagetable.AddressSpace, store *mem.Store, rng *xrand.RNG) *Chameleon {
+	c := &Chameleon{
+		cfg:     cfg.withDefaults(),
+		as:      as,
+		store:   store,
+		rng:     rng,
+		history: make(map[pagetable.VPN]uint64),
+	}
+	c.tables[0] = make(map[pagetable.VPN]uint32)
+	c.tables[1] = make(map[pagetable.VPN]uint32)
+	return c
+}
+
+// Samples returns how many access events the collector has recorded.
+func (c *Chameleon) Samples() uint64 { return c.samples }
+
+// Intervals returns how many worker intervals have completed.
+func (c *Chameleon) Intervals() int { return c.intervals }
+
+// OnAccess feeds one memory-access event (the PEBS stream). The collector
+// applies the sampling rate and core-group duty cycle.
+func (c *Chameleon) OnAccess(v pagetable.VPN) {
+	// The event fires on a uniformly random core; only cores in the
+	// active duty-cycle group are sampling.
+	core := c.rng.Intn(c.cfg.Cores)
+	if core*c.cfg.CoreGroups/c.cfg.Cores != c.activeGroup {
+		return
+	}
+	// 1-in-SampleRate PEBS counter overflow.
+	if c.rng.Intn(c.cfg.SampleRate) != 0 {
+		return
+	}
+	c.tables[c.current][v]++
+	c.samples++
+}
+
+// Tick advances the profiler clock: rotates the duty-cycle group every
+// mini-interval and runs the Worker every interval.
+func (c *Chameleon) Tick() {
+	c.sinceMini++
+	if c.sinceMini >= c.cfg.MiniIntervalTicks {
+		c.sinceMini = 0
+		c.activeGroup = (c.activeGroup + 1) % c.cfg.CoreGroups
+	}
+	c.sinceInterval++
+	if c.sinceInterval >= c.cfg.IntervalTicks {
+		c.sinceInterval = 0
+		c.runWorker()
+	}
+}
+
+// runWorker swaps the hash tables and folds the finished interval into
+// the per-page history bitmaps (§3's Worker).
+func (c *Chameleon) runWorker() {
+	done := c.tables[c.current]
+	c.current = 1 - c.current
+	// Left-shift every page's history one interval.
+	for v := range c.history {
+		c.history[v] <<= 1
+	}
+	for v := range done {
+		if c.cfg.PhysicalTranslation {
+			// /proc/$PID/pagemap lookup; pages unmapped since sampling
+			// are skipped, as in the real tool.
+			if _, ok := c.as.Translate(v); !ok {
+				delete(done, v)
+				continue
+			}
+		}
+		h := c.history[v]
+		// Re-access bookkeeping: how long had the page been cold?
+		switch {
+		case h == 0:
+			c.reacc.FirstTouch++
+		case h&0b10 != 0:
+			c.reacc.Within1++ // hot in the immediately preceding interval
+		default:
+			// After the shift, bit k set means "hot k intervals ago", so
+			// the cold gap is the trailing-zero count.
+			gap := bits.TrailingZeros64(h)
+			switch {
+			case gap <= 2:
+				c.reacc.Within2++
+			case gap <= 5:
+				c.reacc.Within5++
+			case gap <= 10:
+				c.reacc.Within10++
+			default:
+				c.reacc.Beyond++
+			}
+		}
+		c.history[v] = h | 1
+		c.workerProcessed++
+	}
+	// Clear the processed table for reuse.
+	for v := range done {
+		delete(done, v)
+	}
+	c.intervals++
+}
+
+// TempStats is a page-temperature breakdown in pages: how much of the
+// allocated memory was accessed within the last 1/2/5/10 intervals
+// (minutes), and how much is colder than that (Fig. 7's buckets).
+type TempStats struct {
+	Allocated uint64
+	Hot1      uint64
+	Hot2      uint64
+	Hot5      uint64
+	Hot10     uint64
+	Cold      uint64 // allocated but not hot within 10 intervals
+}
+
+// Fraction returns n/Allocated, or 0 for an empty region.
+func (t TempStats) Fraction(n uint64) float64 {
+	if t.Allocated == 0 {
+		return 0
+	}
+	return float64(n) / float64(t.Allocated)
+}
+
+// ReaccessStats is the Fig. 11 distribution: when a page becomes hot,
+// how long had it been cold?
+type ReaccessStats struct {
+	FirstTouch uint64 // never sampled hot before (fresh allocations)
+	Within1    uint64
+	Within2    uint64
+	Within5    uint64
+	Within10   uint64
+	Beyond     uint64
+}
+
+// Total returns the total number of hot transitions observed.
+func (r ReaccessStats) Total() uint64 {
+	return r.FirstTouch + r.Within1 + r.Within2 + r.Within5 + r.Within10 + r.Beyond
+}
+
+// Report is the profiler's output.
+type Report struct {
+	Workload  string
+	Intervals int
+	Samples   uint64
+	PerType   map[mem.PageType]TempStats
+	Overall   TempStats
+	Reaccess  ReaccessStats
+}
+
+// Report builds the current heat map by joining the history bitmaps with
+// the live address space.
+func (c *Chameleon) Report(workloadName string) Report {
+	rep := Report{
+		Workload:  workloadName,
+		Intervals: c.intervals,
+		Samples:   c.samples,
+		PerType:   make(map[mem.PageType]TempStats),
+		Reaccess:  c.reacc,
+	}
+	window := func(h uint64, k int) bool { return h&((1<<uint(k))-1) != 0 }
+	c.as.ForEachMapped(func(v pagetable.VPN, pfn mem.PFN) {
+		r, ok := c.as.RegionOf(v)
+		if !ok {
+			return
+		}
+		ts := rep.PerType[r.Type]
+		ts.Allocated++
+		rep.Overall.Allocated++
+		h := c.history[v]
+		add := func(dst *TempStats) {
+			switch {
+			case window(h, 1):
+				dst.Hot1++
+			case window(h, 2):
+				dst.Hot2++
+			case window(h, 5):
+				dst.Hot5++
+			case window(h, 10):
+				dst.Hot10++
+			default:
+				dst.Cold++
+			}
+		}
+		add(&ts)
+		add(&rep.Overall)
+		rep.PerType[r.Type] = ts
+	})
+	return rep
+}
+
+// String renders the report as the §3 heat-map summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chameleon report: %s (%d intervals, %d samples)\n", r.Workload, r.Intervals, r.Samples)
+	line := func(name string, t TempStats) {
+		fmt.Fprintf(&b, "  %-8s alloc=%7d  hot1=%5.1f%%  hot2=%5.1f%%  hot5=%5.1f%%  hot10=%5.1f%%  cold=%5.1f%%\n",
+			name, t.Allocated,
+			100*t.Fraction(t.Hot1), 100*t.Fraction(t.Hot1+t.Hot2),
+			100*t.Fraction(t.Hot1+t.Hot2+t.Hot5),
+			100*t.Fraction(t.Hot1+t.Hot2+t.Hot5+t.Hot10),
+			100*t.Fraction(t.Cold))
+	}
+	line("total", r.Overall)
+	types := make([]int, 0, len(r.PerType))
+	for t := range r.PerType {
+		types = append(types, int(t))
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		line(mem.PageType(t).String(), r.PerType[mem.PageType(t)])
+	}
+	if tot := r.Reaccess.Total(); tot > 0 {
+		f := func(n uint64) float64 { return 100 * float64(n) / float64(tot) }
+		fmt.Fprintf(&b, "  reaccess: first=%.1f%% <=1m=%.1f%% <=2m=%.1f%% <=5m=%.1f%% <=10m=%.1f%% beyond=%.1f%%\n",
+			f(r.Reaccess.FirstTouch), f(r.Reaccess.Within1), f(r.Reaccess.Within2),
+			f(r.Reaccess.Within5), f(r.Reaccess.Within10), f(r.Reaccess.Beyond))
+	}
+	return b.String()
+}

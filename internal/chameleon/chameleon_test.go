@@ -1,0 +1,214 @@
+package chameleon
+
+import (
+	"strings"
+	"testing"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/xrand"
+)
+
+type fixture struct {
+	as *pagetable.AddressSpace
+	c  *Chameleon
+}
+
+func newFixture(cfg Config) *fixture {
+	as := pagetable.New(1)
+	store := mem.NewStore(1024)
+	return &fixture{as: as, c: New(cfg, as, store, xrand.New(7))}
+}
+
+// runInterval feeds accessFn once per tick for one worker interval.
+func (f *fixture) runInterval(accessFn func()) {
+	for i := uint64(0); i < f.c.cfg.IntervalTicks; i++ {
+		if accessFn != nil {
+			accessFn()
+		}
+		f.c.Tick()
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	f := newFixture(Config{SampleRate: 10, Cores: 4, CoreGroups: 1})
+	r := f.as.Mmap(16, mem.Anon)
+	const events = 100000
+	for i := 0; i < events; i++ {
+		f.c.OnAccess(r.Start + pagetable.VPN(i%16))
+	}
+	got := float64(f.c.Samples())
+	want := float64(events) / 10
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("samples = %v, want ~%v", got, want)
+	}
+}
+
+func TestDutyCyclingReducesSamples(t *testing.T) {
+	full := newFixture(Config{SampleRate: 10, Cores: 4, CoreGroups: 1})
+	quarter := newFixture(Config{SampleRate: 10, Cores: 4, CoreGroups: 4})
+	rf := full.as.Mmap(4, mem.Anon)
+	rq := quarter.as.Mmap(4, mem.Anon)
+	const events = 100000
+	for i := 0; i < events; i++ {
+		full.c.OnAccess(rf.Start)
+		quarter.c.OnAccess(rq.Start)
+	}
+	ratio := float64(quarter.c.Samples()) / float64(full.c.Samples())
+	if ratio < 0.15 || ratio > 0.35 {
+		t.Fatalf("duty-cycle ratio = %v, want ~0.25", ratio)
+	}
+}
+
+func TestGroupRotation(t *testing.T) {
+	f := newFixture(Config{MiniIntervalTicks: 2, CoreGroups: 4})
+	if f.c.activeGroup != 0 {
+		t.Fatal("initial group wrong")
+	}
+	f.c.Tick()
+	f.c.Tick()
+	if f.c.activeGroup != 1 {
+		t.Fatalf("group after one mini-interval = %d", f.c.activeGroup)
+	}
+	for i := 0; i < 6; i++ {
+		f.c.Tick()
+	}
+	if f.c.activeGroup != 0 {
+		t.Fatalf("group did not wrap: %d", f.c.activeGroup)
+	}
+}
+
+func TestHeatBucketsProgression(t *testing.T) {
+	// Sample everything: rate 1, one group.
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 10})
+	r := f.as.Mmap(2, mem.Anon)
+	f.as.MapPage(r.Start, 0)
+	f.as.MapPage(r.Start+1, 1)
+
+	// Interval 1: touch page 0 only.
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	rep := f.c.Report("t")
+	ts := rep.PerType[mem.Anon]
+	if ts.Allocated != 2 || ts.Hot1 != 1 {
+		t.Fatalf("after interval 1: %+v", ts)
+	}
+	// Page 1 was never sampled: cold.
+	if ts.Cold != 1 {
+		t.Fatalf("cold = %d", ts.Cold)
+	}
+
+	// Interval 2: touch nothing. Page 0 moves from hot1 to hot2.
+	f.runInterval(nil)
+	ts = f.c.Report("t").PerType[mem.Anon]
+	if ts.Hot1 != 0 || ts.Hot2 != 1 {
+		t.Fatalf("after interval 2: %+v", ts)
+	}
+}
+
+func TestColdAfterTenIntervals(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 5})
+	r := f.as.Mmap(1, mem.File)
+	f.as.MapPage(r.Start, 0)
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	for i := 0; i < 11; i++ {
+		f.runInterval(nil)
+	}
+	ts := f.c.Report("t").PerType[mem.File]
+	if ts.Cold != 1 {
+		t.Fatalf("page not cold after 11 idle intervals: %+v", ts)
+	}
+}
+
+func TestReaccessDistribution(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 5})
+	r := f.as.Mmap(1, mem.Anon)
+	f.as.MapPage(r.Start, 0)
+
+	// Interval 1: first touch.
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	if f.c.reacc.FirstTouch != 1 {
+		t.Fatalf("first touch not recorded: %+v", f.c.reacc)
+	}
+	// Interval 2: hot again back-to-back -> Within1.
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	if f.c.reacc.Within1 != 1 {
+		t.Fatalf("within1 not recorded: %+v", f.c.reacc)
+	}
+	// Cold for 3 intervals, then hot -> Within5.
+	f.runInterval(nil)
+	f.runInterval(nil)
+	f.runInterval(nil)
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	if f.c.reacc.Within5 != 1 {
+		t.Fatalf("within5 not recorded: %+v", f.c.reacc)
+	}
+}
+
+func TestPerTypeSeparation(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 5})
+	ra := f.as.Mmap(4, mem.Anon)
+	rf := f.as.Mmap(4, mem.Tmpfs)
+	for i := 0; i < 4; i++ {
+		f.as.MapPage(ra.Start+pagetable.VPN(i), mem.PFN(i))
+		f.as.MapPage(rf.Start+pagetable.VPN(i), mem.PFN(4+i))
+	}
+	f.runInterval(func() {
+		f.c.OnAccess(ra.Start)
+		f.c.OnAccess(ra.Start + 1)
+		f.c.OnAccess(rf.Start)
+	})
+	rep := f.c.Report("t")
+	if rep.PerType[mem.Anon].Hot1 != 2 {
+		t.Fatalf("anon hot1 = %d", rep.PerType[mem.Anon].Hot1)
+	}
+	if rep.PerType[mem.Tmpfs].Hot1 != 1 {
+		t.Fatalf("tmpfs hot1 = %d", rep.PerType[mem.Tmpfs].Hot1)
+	}
+	if rep.Overall.Allocated != 8 || rep.Overall.Hot1 != 3 {
+		t.Fatalf("overall: %+v", rep.Overall)
+	}
+}
+
+func TestPhysicalTranslationSkipsUnmapped(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1,
+		IntervalTicks: 5, PhysicalTranslation: true})
+	r := f.as.Mmap(1, mem.Anon)
+	f.as.MapPage(r.Start, 0)
+	// Sample, then unmap before the worker runs.
+	f.c.OnAccess(r.Start)
+	f.as.UnmapPage(r.Start)
+	f.runInterval(nil)
+	if f.c.workerProcessed != 0 {
+		t.Fatal("worker processed an unmapped page")
+	}
+}
+
+func TestDoubleBufferingIsolation(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 2})
+	r := f.as.Mmap(1, mem.Anon)
+	f.as.MapPage(r.Start, 0)
+	f.c.OnAccess(r.Start)
+	before := f.c.current
+	f.c.Tick()
+	f.c.Tick() // interval boundary: tables swap
+	if f.c.current == before {
+		t.Fatal("tables did not swap")
+	}
+	// The old table must have been drained.
+	if len(f.c.tables[before]) != 0 {
+		t.Fatal("processed table not cleared")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	f := newFixture(Config{SampleRate: 1, Cores: 1, CoreGroups: 1, IntervalTicks: 2})
+	r := f.as.Mmap(2, mem.Anon)
+	f.as.MapPage(r.Start, 0)
+	f.runInterval(func() { f.c.OnAccess(r.Start) })
+	out := f.c.Report("Web1").String()
+	for _, want := range []string{"Web1", "anon", "total", "hot1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package core defines the paper's primary contribution as a composable
+// policy: TPP is precisely a configuration of the kernel mechanisms in
+// this repository — migration-backed reclaim (§5.1), decoupled allocation
+// and reclamation watermarks (§5.2), CXL-only NUMA-balancing sampling with
+// the active-LRU promotion filter (§5.3), and optional page-type-aware
+// allocation (§5.4). The baselines the paper compares against (default
+// Linux, classic NUMA Balancing, AutoTiering, TMO) are alternative
+// configurations of the same machine, which is what makes the comparison
+// apples-to-apples.
+//
+// The ablation experiments (§6.2) are expressed as options on the TPP
+// policy: WithoutDecoupling, WithInstantPromotion, WithPageTypeAware.
+package core
+
+import (
+	"tppsim/internal/alloc"
+	"tppsim/internal/autotiering"
+	"tppsim/internal/migrate"
+	"tppsim/internal/numab"
+	"tppsim/internal/reclaim"
+	"tppsim/internal/tmo"
+)
+
+// Policy is a complete placement-policy configuration for one run.
+type Policy struct {
+	// Name is the display name used in tables ("TPP", "Default Linux",
+	// ...).
+	Name string
+
+	Alloc   alloc.Config
+	Reclaim reclaim.Config
+	NUMAB   numab.Config
+	Migrate migrate.Config
+
+	// AutoTiering, when non-nil, runs the AutoTiering baseline daemon
+	// (its promotion gate is wired into NUMAB automatically).
+	AutoTiering *autotiering.Config
+	// TMO, when non-nil, runs the TMO controller; it requires a swap
+	// device on the machine.
+	TMO *tmo.Config
+	// NeedSwap requests a zswap device even if the policy does not
+	// strictly require one.
+	NeedSwap bool
+}
+
+// Option mutates a Policy; used for TPP ablations.
+type Option func(*Policy)
+
+// TPP returns the paper's full mechanism: demotion via migration,
+// decoupled watermarks, CXL-only sampling, active-LRU-filtered promotion
+// with watermark bypass.
+func TPP(opts ...Option) Policy {
+	p := Policy{
+		Name:  "TPP",
+		Alloc: alloc.Config{Decoupled: true},
+		Reclaim: reclaim.Config{
+			DemotionEnabled: true,
+			Decoupled:       true,
+		},
+		NUMAB: numab.Config{
+			Enabled:              true,
+			CXLOnly:              true,
+			ActiveLRUFilter:      true,
+			IgnoreAllocWatermark: true,
+		},
+		Migrate: migrate.Config{WatermarkGuard: true},
+	}
+	for _, o := range opts {
+		o(&p)
+	}
+	return p
+}
+
+// WithoutDecoupling disables §5.2's decoupled watermarks (the Fig. 17
+// ablation): reclaim stops at the classic high watermark and allocation
+// halts behind it.
+func WithoutDecoupling() Option {
+	return func(p *Policy) {
+		p.Name = "TPP (no decoupling)"
+		p.Alloc.Decoupled = false
+		p.Reclaim.Decoupled = false
+	}
+}
+
+// WithInstantPromotion disables §5.3's active-LRU filter (the Fig. 18 and
+// §6.2 ablation): any hint-faulted CXL page promotes immediately.
+func WithInstantPromotion() Option {
+	return func(p *Policy) {
+		p.Name = "TPP (instant promotion)"
+		p.NUMAB.ActiveLRUFilter = false
+	}
+}
+
+// WithPageTypeAware enables §5.4's cache-to-CXL allocation policy
+// (Table 2).
+func WithPageTypeAware() Option {
+	return func(p *Policy) {
+		p.Name = "TPP (page-type aware)"
+		p.Alloc.PageTypeAware = true
+	}
+}
+
+// WithTMO layers the TMO controller over the policy in two-stage
+// (demote-then-swap) mode (§6.3.2, Tables 3 and 4).
+func WithTMO() Option {
+	return func(p *Policy) {
+		p.Name = p.Name + " + TMO"
+		p.TMO = &tmo.Config{TwoStage: true}
+	}
+}
+
+// DefaultLinux returns the stock kernel the paper calls "default Linux":
+// local-first allocation, watermark reclaim that drops/writes-back file
+// pages (no demotion, no swap on the evaluation machines), and no NUMA
+// balancing.
+func DefaultLinux() Policy {
+	return Policy{
+		Name:    "Default Linux",
+		Alloc:   alloc.Config{},
+		Reclaim: reclaim.Config{},
+		NUMAB:   numab.Config{},
+	}
+}
+
+// NUMABalancing returns default Linux plus classic AutoNUMA: sampling on
+// every node, instant promotion, allocation-watermark-gated (§6.3.1).
+func NUMABalancing() Policy {
+	return Policy{
+		Name:    "NUMA Balancing",
+		Alloc:   alloc.Config{},
+		Reclaim: reclaim.Config{},
+		NUMAB: numab.Config{
+			Enabled: true,
+			// Classic AutoNUMA samples every node and promotes
+			// opportunistically.
+		},
+	}
+}
+
+// AutoTiering returns the AutoTiering baseline: frequency-ranked
+// background demotion, optimized (instant) NUMA-balancing promotion
+// behind a fixed reserve buffer, tightly-coupled allocation (§6.3).
+func AutoTiering() Policy {
+	cfg := autotiering.Config{}
+	return Policy{
+		Name:    "AutoTiering",
+		Alloc:   alloc.Config{},
+		Reclaim: reclaim.Config{}, // no kswapd demotion; the daemon demotes
+		NUMAB: numab.Config{
+			Enabled: true,
+			CXLOnly: true, // its optimized balancing skips local sampling
+			// Promotions land in AutoTiering's reserved buffer, so they
+			// bypass the allocation watermark like TPP's do.
+			IgnoreAllocWatermark: true,
+		},
+		AutoTiering: &cfg,
+	}
+}
+
+// TMOOnly returns TMO running over default Linux with CXL configured as a
+// plain swap-backed tier (§6.3.2's "TMO-only" arm): pressure-driven
+// reclaim into zswap from the local node, no migration, no promotion.
+func TMOOnly() Policy {
+	return Policy{
+		Name:     "TMO",
+		Alloc:    alloc.Config{},
+		Reclaim:  reclaim.Config{},
+		NUMAB:    numab.Config{},
+		TMO:      &tmo.Config{},
+		NeedSwap: true,
+	}
+}
+
+// All returns the named policies of Table 1 in presentation order.
+func All() []Policy {
+	return []Policy{DefaultLinux(), TPP(), NUMABalancing(), AutoTiering()}
+}

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestTPPConfiguration(t *testing.T) {
+	p := TPP()
+	if !p.Reclaim.DemotionEnabled || !p.Reclaim.Decoupled {
+		t.Fatal("TPP reclaim misconfigured")
+	}
+	if !p.Alloc.Decoupled {
+		t.Fatal("TPP alloc not decoupled")
+	}
+	nb := p.NUMAB
+	if !nb.Enabled || !nb.CXLOnly || !nb.ActiveLRUFilter || !nb.IgnoreAllocWatermark {
+		t.Fatalf("TPP NUMAB misconfigured: %+v", nb)
+	}
+	if !p.Migrate.WatermarkGuard {
+		t.Fatal("TPP migrate guard off")
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	if p := TPP(WithoutDecoupling()); p.Alloc.Decoupled || p.Reclaim.Decoupled {
+		t.Fatal("WithoutDecoupling ignored")
+	}
+	if p := TPP(WithInstantPromotion()); p.NUMAB.ActiveLRUFilter {
+		t.Fatal("WithInstantPromotion ignored")
+	}
+	if p := TPP(WithPageTypeAware()); !p.Alloc.PageTypeAware {
+		t.Fatal("WithPageTypeAware ignored")
+	}
+	p := TPP(WithTMO())
+	if p.TMO == nil || !p.TMO.TwoStage {
+		t.Fatal("WithTMO ignored or not two-stage")
+	}
+	if p.Name != "TPP + TMO" {
+		t.Fatalf("name = %q", p.Name)
+	}
+}
+
+func TestBaselinePolicies(t *testing.T) {
+	d := DefaultLinux()
+	if d.Reclaim.DemotionEnabled || d.NUMAB.Enabled || d.TMO != nil {
+		t.Fatal("DefaultLinux has extra mechanisms")
+	}
+	nb := NUMABalancing()
+	if !nb.NUMAB.Enabled || nb.NUMAB.CXLOnly || nb.NUMAB.ActiveLRUFilter {
+		t.Fatal("NUMABalancing misconfigured")
+	}
+	at := AutoTiering()
+	if at.AutoTiering == nil || !at.NUMAB.Enabled || at.NUMAB.ActiveLRUFilter {
+		t.Fatal("AutoTiering misconfigured")
+	}
+	tmo := TMOOnly()
+	if tmo.TMO == nil || tmo.TMO.TwoStage || !tmo.NeedSwap {
+		t.Fatal("TMOOnly misconfigured")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	names := []string{"Default Linux", "TPP", "NUMA Balancing", "AutoTiering"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() = %d policies", len(all))
+	}
+	for i, p := range all {
+		if p.Name != names[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, p.Name, names[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tppsim/internal/report"
+	"tppsim/internal/tier"
+)
+
+// Fig2 regenerates the latency-hierarchy table (Fig. 2): the operating
+// points the simulator's tier traits are built from.
+func Fig2(o Options) Result {
+	t := &report.Table{
+		Title:   "Fig. 2 — Latency characteristics of memory technologies",
+		Columns: []string{"technology", "attachment", "latency"},
+	}
+	rows := [][3]string{
+		{"register", "CPU", "0.2 ns"},
+		{"cache (L1-L3)", "CPU", "1-40 ns"},
+		{"main memory (DDR)", "CPU-attached", "80-140 ns"},
+		{"CXL-Memory", "CXL (CPU-independent)", "170-250 ns"},
+		{"NVM", "CPU-attached", "300-400 ns"},
+		{"disaggregated memory", "network", "2-4 us"},
+		{"SSD", "PCIe", "10-40 us"},
+		{"HDD", "SATA", "3-10 ms"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2])
+	}
+	t.AddNote("simulator defaults: local %.0f ns, CXL %.0f ns (sweep %.0f-%.0f)",
+		tier.LocalDRAMLatencyNs, tier.CXLLatencyDefaultNs, tier.CXLLatencyMinNs, tier.CXLLatencyMaxNs)
+	return Result{ID: "Fig2", Caption: "Latency hierarchy", Table: t}
+}
+
+// rackGen describes one hardware generation of the TCO model behind
+// Fig. 3: per-rack compute and memory power/cost. The memory share grows
+// generation over generation as DRAM price/power outpace the rest of the
+// platform — the trend that motivates tiering. Values are chosen to
+// reproduce the paper's reported shares.
+type rackGen struct {
+	name                     string
+	computePowerW, memPowerW float64
+	computeCost, memCost     float64
+}
+
+var rackGens = []rackGen{
+	{"Gen0", 350, 60, 5400, 1000},
+	{"Gen1", 340, 84, 5100, 1750},
+	{"Gen2", 355, 87, 5500, 1520},
+	{"Gen3", 360, 94, 5800, 1560},
+	{"Gen4", 336, 136, 5300, 2470},
+	{"Gen5", 320, 160, 5100, 3010},
+}
+
+// Fig3 regenerates the memory-share-of-rack trend (Fig. 3) from the TCO
+// model.
+func Fig3(o Options) Result {
+	t := &report.Table{
+		Title:   "Fig. 3 — Memory as a percentage of rack power and TCO",
+		Columns: []string{"generation", "power share", "cost share"},
+	}
+	for _, g := range rackGens {
+		power := g.memPowerW / (g.memPowerW + g.computePowerW)
+		cost := g.memCost / (g.memCost + g.computeCost)
+		t.AddRow(g.name, report.Pct(power), report.Pct(cost))
+	}
+	t.AddNote("paper reports power 14.6->33.3%% and cost 15.6->37.1%% across Gen0-Gen5")
+	return Result{ID: "Fig3", Caption: "Memory share of rack TCO/power", Table: t}
+}
+
+// ddrGen is one point of Fig. 4: peak per-DIMM capacity and per-channel
+// bandwidth relative to Gen0.
+type ddrGen struct {
+	name      string
+	capacityX float64
+	bwX       float64
+}
+
+var ddrGens = []ddrGen{
+	{"Gen0", 1, 1.0},
+	{"Gen1", 1, 1.2},
+	{"Gen2", 4, 1.4},
+	{"Gen3", 4, 1.6},
+	{"Gen4", 8, 1.8},
+	{"Gen5", 8, 2.0},
+	{"Gen6", 8, 2.2},
+	{"Gen7", 16, 3.6},
+}
+
+// Fig4 regenerates the capacity-vs-bandwidth scaling divergence (Fig. 4):
+// capacity comes in power-of-two jumps while bandwidth creeps — the
+// coupling CXL breaks.
+func Fig4(o Options) Result {
+	t := &report.Table{
+		Title:   "Fig. 4 — Memory bandwidth and capacity scaling over generations",
+		Columns: []string{"generation", "capacity (x)", "bandwidth (x)"},
+	}
+	for _, g := range ddrGens {
+		t.AddRow(g.name, fmt.Sprintf("%.0fx", g.capacityX), fmt.Sprintf("%.1fx", g.bwX))
+	}
+	return Result{ID: "Fig4", Caption: "DDR scaling", Table: t}
+}
+
+// Fig5 regenerates the CXL-vs-dual-socket comparison (Fig. 5) from the
+// topology constants.
+func Fig5(o Options) Result {
+	t := &report.Table{
+		Title:   "Fig. 5 — CXL system vs dual-socket server",
+		Columns: []string{"link", "bandwidth", "latency"},
+	}
+	t.AddRow("DDR channel (local)", fmt.Sprintf("%.1f GB/s", tier.DDRChannelBandwidthMBps/1000), fmt.Sprintf("~%.0f ns", tier.LocalDRAMLatencyNs))
+	t.AddRow("cross-socket interconnect", fmt.Sprintf("%.0f GB/s per link", tier.CrossSocketBandwidthMBps/1000), fmt.Sprintf("~%.0f ns", tier.RemoteSocketLatency))
+	t.AddRow("CXL x16 link", fmt.Sprintf("%.0f GB/s", tier.CXLx16BandwidthMBps/1000), fmt.Sprintf("~%.0f-%.0f ns", tier.CXLLatencyMinNs, tier.CXLLatencyMaxNs))
+	t.AddNote("CXL behaves like a remote NUMA node: same order of latency, more bandwidth than a socket link")
+	return Result{ID: "Fig5", Caption: "CXL vs NUMA", Table: t}
+}

@@ -1,0 +1,335 @@
+// Package lru implements the per-node LRU page lists the kernel uses for
+// reclaim: an active and an inactive list for each of the two page classes
+// (anon and file). TPP leans on exactly this machinery: demotion candidates
+// are selected from the inactive tails (§5.1), and promotion candidates are
+// filtered by active-list membership with an inactive→active hysteresis
+// step (§5.3).
+//
+// Lists are intrusive: links live in mem.Page (Prev/Next), so list
+// operations are pointer updates with no allocation. Flag bits (PGOnLRU,
+// PGActive) are kept consistent with physical list membership at all
+// times; the property tests in this package verify that invariant under
+// random operation streams.
+package lru
+
+import (
+	"fmt"
+
+	"tppsim/internal/mem"
+)
+
+// ListID names one of the four LRU lists on a node.
+type ListID uint8
+
+const (
+	InactiveAnon ListID = iota
+	ActiveAnon
+	InactiveFile
+	ActiveFile
+	numLists
+)
+
+// NumLists is the number of LRU lists per node.
+const NumLists = int(numLists)
+
+// String returns the kernel-style list name.
+func (l ListID) String() string {
+	switch l {
+	case InactiveAnon:
+		return "inactive_anon"
+	case ActiveAnon:
+		return "active_anon"
+	case InactiveFile:
+		return "inactive_file"
+	case ActiveFile:
+		return "active_file"
+	}
+	return fmt.Sprintf("list(%d)", uint8(l))
+}
+
+// listFor returns the list a page with the given type and active state
+// belongs on.
+func listFor(t mem.PageType, active bool) ListID {
+	base := InactiveAnon
+	if t.IsFileLike() {
+		base = InactiveFile
+	}
+	if active {
+		return base + 1
+	}
+	return base
+}
+
+// IsActive reports whether the list is an active list.
+func (l ListID) IsActive() bool { return l == ActiveAnon || l == ActiveFile }
+
+// list is one doubly-linked page list. head is the MRU end (where new and
+// rotated pages are inserted); tail is the LRU end (where reclaim scans).
+type list struct {
+	head, tail mem.PFN
+	size       uint64
+}
+
+// Vec is the per-node LRU vector: the four lists plus the shared page
+// store they link through (the kernel's lruvec).
+type Vec struct {
+	store *mem.Store
+	lists [numLists]list
+}
+
+// NewVec returns an empty LRU vector over the given store.
+func NewVec(store *mem.Store) *Vec {
+	v := &Vec{store: store}
+	for i := range v.lists {
+		v.lists[i] = list{head: mem.NilPFN, tail: mem.NilPFN}
+	}
+	return v
+}
+
+// Size returns the number of pages on the given list.
+func (v *Vec) Size(id ListID) uint64 { return v.lists[id].size }
+
+// TotalSize returns the number of pages across all four lists.
+func (v *Vec) TotalSize() uint64 {
+	var s uint64
+	for i := range v.lists {
+		s += v.lists[i].size
+	}
+	return s
+}
+
+// Tail returns the PFN at the reclaim end of the list, or mem.NilPFN when
+// the list is empty.
+func (v *Vec) Tail(id ListID) mem.PFN { return v.lists[id].tail }
+
+// Head returns the PFN at the MRU end of the list, or mem.NilPFN.
+func (v *Vec) Head(id ListID) mem.PFN { return v.lists[id].head }
+
+// ListOf returns the list the page currently sits on. It panics if the
+// page is not on any LRU list.
+func (v *Vec) ListOf(pfn mem.PFN) ListID {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) {
+		panic("lru: ListOf on page not on LRU")
+	}
+	return listFor(pg.Type, pg.Flags.Has(mem.PGActive))
+}
+
+// Add links a page at the MRU end of the appropriate list. active selects
+// the active vs inactive list and sets/clears PGActive to match.
+func (v *Vec) Add(pfn mem.PFN, active bool) {
+	pg := v.store.Page(pfn)
+	if pg.Flags.Has(mem.PGOnLRU) {
+		panic("lru: Add of page already on LRU")
+	}
+	if active {
+		pg.Flags = pg.Flags.Set(mem.PGActive)
+	} else {
+		pg.Flags = pg.Flags.Clear(mem.PGActive)
+	}
+	pg.Flags = pg.Flags.Set(mem.PGOnLRU).Clear(mem.PGIsolated)
+	v.pushFront(listFor(pg.Type, active), pfn)
+}
+
+// Remove unlinks the page from its list and clears PGOnLRU. The PGActive
+// bit is left as-is so callers can inspect where the page came from.
+func (v *Vec) Remove(pfn mem.PFN) {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) {
+		panic("lru: Remove of page not on LRU")
+	}
+	v.unlink(listFor(pg.Type, pg.Flags.Has(mem.PGActive)), pfn)
+	pg.Flags = pg.Flags.Clear(mem.PGOnLRU)
+}
+
+// Isolate removes the page from its list for migration, setting
+// PGIsolated (the kernel's isolate_lru_page). Reports false if the page is
+// not on a list.
+func (v *Vec) Isolate(pfn mem.PFN) bool {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) {
+		return false
+	}
+	v.Remove(pfn)
+	pg.Flags = pg.Flags.Set(mem.PGIsolated)
+	return true
+}
+
+// Putback returns an isolated page to the MRU end of its list (the
+// kernel's putback_lru_page), preserving its active state.
+func (v *Vec) Putback(pfn mem.PFN) {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGIsolated) {
+		panic("lru: Putback of page not isolated")
+	}
+	v.Add(pfn, pg.Flags.Has(mem.PGActive))
+}
+
+// Activate moves a page from its inactive list to the MRU end of the
+// corresponding active list (the kernel's activate_page). No-op when the
+// page is already active or not on the LRU.
+func (v *Vec) Activate(pfn mem.PFN) bool {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) || pg.Flags.Has(mem.PGActive) {
+		return false
+	}
+	v.unlink(listFor(pg.Type, false), pfn)
+	pg.Flags = pg.Flags.Set(mem.PGActive)
+	v.pushFront(listFor(pg.Type, true), pfn)
+	return true
+}
+
+// Deactivate moves a page from its active list to the MRU end of the
+// corresponding inactive list, clearing PGActive and PGReferenced (the
+// aging step of shrink_active_list).
+func (v *Vec) Deactivate(pfn mem.PFN) bool {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) || !pg.Flags.Has(mem.PGActive) {
+		return false
+	}
+	v.unlink(listFor(pg.Type, true), pfn)
+	pg.Flags = pg.Flags.Clear(mem.PGActive | mem.PGReferenced)
+	v.pushFront(listFor(pg.Type, false), pfn)
+	return true
+}
+
+// RotateToFront moves a page to the MRU end of the list it is already on
+// (second chance for referenced pages during a scan).
+func (v *Vec) RotateToFront(pfn mem.PFN) {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) {
+		panic("lru: RotateToFront of page not on LRU")
+	}
+	id := listFor(pg.Type, pg.Flags.Has(mem.PGActive))
+	v.unlink(id, pfn)
+	v.pushFront(id, pfn)
+}
+
+// MarkAccessed implements the kernel's mark_page_accessed aging protocol:
+//
+//	inactive, !referenced -> referenced
+//	inactive,  referenced -> active, !referenced (workingset promotion)
+//	active,   !referenced -> referenced
+//	active,    referenced -> no-op
+//
+// It returns true when the call activated the page.
+func (v *Vec) MarkAccessed(pfn mem.PFN) bool {
+	pg := v.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGOnLRU) {
+		// Isolated or off-LRU pages just collect the referenced bit.
+		pg.Flags = pg.Flags.Set(mem.PGReferenced)
+		return false
+	}
+	switch {
+	case !pg.Flags.Has(mem.PGReferenced):
+		pg.Flags = pg.Flags.Set(mem.PGReferenced)
+		return false
+	case !pg.Flags.Has(mem.PGActive):
+		pg.Flags = pg.Flags.Clear(mem.PGReferenced)
+		v.Activate(pfn)
+		return true
+	default:
+		return false
+	}
+}
+
+// ForceActivate marks the page accessed and moves it to the active list
+// immediately. This is TPP's hysteresis step for hint-faulted pages found
+// on the inactive list (§5.3: "we mark the page as accessed and move it to
+// the active LRU list immediately").
+func (v *Vec) ForceActivate(pfn mem.PFN) {
+	pg := v.store.Page(pfn)
+	pg.Flags = pg.Flags.Set(mem.PGReferenced)
+	if pg.Flags.Has(mem.PGOnLRU) && !pg.Flags.Has(mem.PGActive) {
+		v.Activate(pfn)
+	}
+}
+
+// ScanTail visits up to n pages from the reclaim end of the list, invoking
+// fn for each. fn may remove, rotate, or migrate the current page; the
+// scan captures the predecessor before calling fn so mutation is safe.
+// Scanning stops early when fn returns false.
+func (v *Vec) ScanTail(id ListID, n int, fn func(pfn mem.PFN) bool) {
+	cur := v.lists[id].tail
+	for i := 0; i < n && cur != mem.NilPFN; i++ {
+		prev := v.store.Page(cur).Prev
+		if !fn(cur) {
+			return
+		}
+		cur = prev
+	}
+}
+
+// pushFront links pfn at the head (MRU end) of list id.
+func (v *Vec) pushFront(id ListID, pfn mem.PFN) {
+	l := &v.lists[id]
+	pg := v.store.Page(pfn)
+	pg.Prev = mem.NilPFN
+	pg.Next = l.head
+	if l.head != mem.NilPFN {
+		v.store.Page(l.head).Prev = pfn
+	}
+	l.head = pfn
+	if l.tail == mem.NilPFN {
+		l.tail = pfn
+	}
+	l.size++
+}
+
+// unlink removes pfn from list id.
+func (v *Vec) unlink(id ListID, pfn mem.PFN) {
+	l := &v.lists[id]
+	pg := v.store.Page(pfn)
+	if pg.Prev != mem.NilPFN {
+		v.store.Page(pg.Prev).Next = pg.Next
+	} else {
+		l.head = pg.Next
+	}
+	if pg.Next != mem.NilPFN {
+		v.store.Page(pg.Next).Prev = pg.Prev
+	} else {
+		l.tail = pg.Prev
+	}
+	pg.Prev, pg.Next = mem.NilPFN, mem.NilPFN
+	if l.size == 0 {
+		panic("lru: unlink from empty list")
+	}
+	l.size--
+}
+
+// CheckInvariants walks every list and verifies link integrity, size
+// accounting, and flag consistency. Used by tests; O(n).
+func (v *Vec) CheckInvariants() error {
+	for id := ListID(0); id < numLists; id++ {
+		l := v.lists[id]
+		var count uint64
+		prev := mem.NilPFN
+		for cur := l.head; cur != mem.NilPFN; cur = v.store.Page(cur).Next {
+			pg := v.store.Page(cur)
+			if pg.Prev != prev {
+				return fmt.Errorf("lru: %v: bad prev link at %d", id, cur)
+			}
+			if !pg.Flags.Has(mem.PGOnLRU) {
+				return fmt.Errorf("lru: %v: page %d on list without PGOnLRU", id, cur)
+			}
+			if pg.Flags.Has(mem.PGActive) != id.IsActive() {
+				return fmt.Errorf("lru: %v: page %d active flag mismatch", id, cur)
+			}
+			if listFor(pg.Type, id.IsActive()) != id {
+				return fmt.Errorf("lru: %v: page %d of type %v on wrong class", id, cur, pg.Type)
+			}
+			prev = cur
+			count++
+			if count > l.size {
+				return fmt.Errorf("lru: %v: list longer than recorded size %d", id, l.size)
+			}
+		}
+		if count != l.size {
+			return fmt.Errorf("lru: %v: size %d != walked %d", id, l.size, count)
+		}
+		if l.tail != prev {
+			return fmt.Errorf("lru: %v: tail %d != last walked %d", id, l.tail, prev)
+		}
+	}
+	return nil
+}

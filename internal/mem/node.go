@@ -1,0 +1,163 @@
+package mem
+
+import "fmt"
+
+// NodeID identifies a memory node. The local (CPU-attached) node is
+// conventionally node 0; CXL nodes follow.
+type NodeID int8
+
+// NilNode is the sentinel "no node" value.
+const NilNode NodeID = -1
+
+// NodeKind distinguishes CPU-attached DRAM from CPU-less CXL memory.
+type NodeKind uint8
+
+const (
+	// KindLocal is DRAM directly attached to a CPU socket.
+	KindLocal NodeKind = iota
+	// KindCXL is a CPU-less CXL-Memory expansion node.
+	KindCXL
+)
+
+// String returns the node kind name.
+func (k NodeKind) String() string {
+	if k == KindCXL {
+		return "cxl"
+	}
+	return "local"
+}
+
+// Watermarks are the free-page thresholds that drive reclaim, in pages.
+// Linux keeps min/low/high; TPP adds the decoupled pair (§5.2):
+//
+//   - Alloc: new allocations may land on the node while free > Alloc.
+//   - Demote: background reclaim keeps demoting until free >= Demote.
+//
+// Invariant (checked by Validate): Min <= Low <= High and
+// Alloc <= Demote, with Demote >= High so reclaim always builds headroom
+// beyond the classic high watermark.
+type Watermarks struct {
+	Min    uint64
+	Low    uint64
+	High   uint64
+	Alloc  uint64
+	Demote uint64
+}
+
+// DefaultWatermarks computes watermarks for a node of the given capacity
+// using the paper's defaults: min 0.5%, low 1%, high 2%, allocation
+// watermark equal to low, and the demotion watermark at high plus
+// demoteScaleFactor (the /proc/sys/vm/demote_scale_factor knob, default
+// 0.02 — "reclamation starts as soon as only 2% of the local node's
+// capacity is available", §5.2).
+func DefaultWatermarks(capacity uint64, demoteScaleFactor float64) Watermarks {
+	pct := func(f float64) uint64 {
+		v := uint64(float64(capacity) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	w := Watermarks{
+		Min:  pct(0.005),
+		Low:  pct(0.01),
+		High: pct(0.02),
+	}
+	w.Alloc = w.Low
+	w.Demote = w.High + pct(demoteScaleFactor)
+	return w
+}
+
+// Validate checks the ordering invariants.
+func (w Watermarks) Validate() error {
+	if w.Min > w.Low || w.Low > w.High {
+		return fmt.Errorf("mem: watermark order violated: min=%d low=%d high=%d", w.Min, w.Low, w.High)
+	}
+	if w.Alloc > w.Demote {
+		return fmt.Errorf("mem: alloc watermark %d above demote watermark %d", w.Alloc, w.Demote)
+	}
+	if w.Demote < w.High {
+		return fmt.Errorf("mem: demote watermark %d below high watermark %d", w.Demote, w.High)
+	}
+	return nil
+}
+
+// Node is one memory node: a capacity, resident-page accounting (total and
+// per page type), and watermarks. Latency/bandwidth traits live in package
+// tier; this package is pure capacity bookkeeping.
+type Node struct {
+	ID       NodeID
+	Kind     NodeKind
+	Capacity uint64 // pages
+	WM       Watermarks
+
+	resident       uint64
+	residentByType [NumPageTypes]uint64
+}
+
+// NewNode returns a node with the given identity and capacity, with
+// watermarks from DefaultWatermarks at the given demote scale factor.
+func NewNode(id NodeID, kind NodeKind, capacityPages uint64, demoteScaleFactor float64) *Node {
+	return &Node{
+		ID:       id,
+		Kind:     kind,
+		Capacity: capacityPages,
+		WM:       DefaultWatermarks(capacityPages, demoteScaleFactor),
+	}
+}
+
+// Free returns the number of free pages on the node.
+func (n *Node) Free() uint64 { return n.Capacity - n.resident }
+
+// Resident returns the number of resident pages.
+func (n *Node) Resident() uint64 { return n.resident }
+
+// ResidentByType returns the number of resident pages of type t.
+func (n *Node) ResidentByType(t PageType) uint64 { return n.residentByType[t] }
+
+// Acquire consumes one free page of type t. It reports false (and changes
+// nothing) when the node is full.
+func (n *Node) Acquire(t PageType) bool {
+	if n.resident >= n.Capacity {
+		return false
+	}
+	n.resident++
+	n.residentByType[t]++
+	return true
+}
+
+// Release returns one page of type t to the free pool. It panics on
+// underflow, which would indicate double-free or type-accounting bugs.
+func (n *Node) Release(t PageType) {
+	if n.resident == 0 || n.residentByType[t] == 0 {
+		panic(fmt.Sprintf("mem: release underflow on node %d type %s", n.ID, t))
+	}
+	n.resident--
+	n.residentByType[t]--
+}
+
+// BelowLow reports whether the node is under classic memory pressure
+// (free pages at or under the low watermark) — the default-kernel kswapd
+// wake condition. Inclusive: the allocator stops handing out fast-path
+// pages exactly at the watermark, and that is the moment kswapd must
+// wake, or a node that plateaus at the watermark would never reclaim.
+func (n *Node) BelowLow() bool { return n.Free() <= n.WM.Low }
+
+// BelowMin reports whether the node is critically low (direct-reclaim
+// territory).
+func (n *Node) BelowMin() bool { return n.Free() <= n.WM.Min }
+
+// BelowDemote reports whether free pages are at or under the TPP demotion
+// watermark, i.e. background demotion should run (§5.2).
+func (n *Node) BelowDemote() bool { return n.Free() <= n.WM.Demote }
+
+// AllocOK reports whether a new allocation may land on this node under the
+// decoupled-allocation rule: free page count must satisfy the allocation
+// watermark (§5.2).
+func (n *Node) AllocOK() bool { return n.Free() > n.WM.Alloc }
+
+// String renders a one-line summary for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("node%d(%s cap=%d resident=%d free=%d)",
+		n.ID, n.Kind, n.Capacity, n.resident, n.Free())
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThroughputModelBaseline(t *testing.T) {
+	m := ThroughputModel{CPUServiceNs: 500, StallsPerOp: 1}
+	if got := m.Normalized(100, 0, 100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("baseline normalized = %v, want 1", got)
+	}
+}
+
+func TestThroughputDropsWithLatency(t *testing.T) {
+	m := ThroughputModel{CPUServiceNs: 500, StallsPerOp: 1}
+	hi := m.Normalized(100, 0, 100)
+	lo := m.Normalized(250, 0, 100)
+	if lo >= hi {
+		t.Fatal("higher latency did not reduce throughput")
+	}
+	// 500 + 250 vs 500 + 100: ratio 600/750 = 0.8.
+	if math.Abs(lo-0.8) > 1e-12 {
+		t.Fatalf("normalized = %v, want 0.8", lo)
+	}
+}
+
+func TestStallShareReducesThroughput(t *testing.T) {
+	m := ThroughputModel{CPUServiceNs: 500, StallsPerOp: 1}
+	clean := m.Normalized(100, 0, 100)
+	stalled := m.Normalized(100, 200, 100)
+	if stalled >= clean {
+		t.Fatal("stall share ignored")
+	}
+}
+
+func TestMemoryBoundednessScalesImpact(t *testing.T) {
+	cpuBound := ThroughputModel{CPUServiceNs: 2000, StallsPerOp: 0.5}
+	memBound := ThroughputModel{CPUServiceNs: 200, StallsPerOp: 2}
+	cpuLoss := 1 - cpuBound.Normalized(250, 0, 100)
+	memLoss := 1 - memBound.Normalized(250, 0, 100)
+	if memLoss <= cpuLoss {
+		t.Fatal("memory-bound workload should lose more from slow memory")
+	}
+}
+
+func TestTickAccessors(t *testing.T) {
+	tk := Tick{Accesses: 10, LocalAccesses: 7, LatencySumNs: 1500}
+	if tk.LocalFraction() != 0.7 {
+		t.Fatalf("LocalFraction = %v", tk.LocalFraction())
+	}
+	if tk.AvgLatencyNs(1) != 150 {
+		t.Fatalf("AvgLatencyNs = %v", tk.AvgLatencyNs(1))
+	}
+	var zero Tick
+	if zero.LocalFraction() != 0 || zero.AvgLatencyNs(1) != 0 {
+		t.Fatal("zero tick not safe")
+	}
+}
+
+func TestTickEventAmortization(t *testing.T) {
+	tk := Tick{Accesses: 10, LatencySumNs: 1000, EventNs: 10000}
+	// scale 1: 100 + 1000 = 1100; scale 100: 100 + 10.
+	if got := tk.AvgLatencyNs(1); got != 1100 {
+		t.Fatalf("scale-1 avg = %v", got)
+	}
+	if got := tk.AvgLatencyNs(100); got != 110 {
+		t.Fatalf("scale-100 avg = %v", got)
+	}
+	// Degenerate scale clamps to 1.
+	if got := tk.AvgLatencyNs(0); got != 1100 {
+		t.Fatalf("scale-0 avg = %v", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatal("Len wrong")
+	}
+	if s.Mean() != 4.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Tail(0.2): last 2 points = 8,9.
+	if got := s.Tail(0.2); got != 8.5 {
+		t.Fatalf("Tail = %v", got)
+	}
+	if got := s.Tail(1); got != 4.5 {
+		t.Fatalf("Tail(1) = %v", got)
+	}
+}
+
+func TestSeriesEmptySafe(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Tail(0.5) != 0 {
+		t.Fatal("empty series accessors unsafe")
+	}
+	if !math.IsNaN(s.Percentile(50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation: P10 of [0,10] over 2 points = 1.
+	if got := Percentile([]float64{0, 10}, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("interpolated P10 = %v", got)
+	}
+	// Single element.
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile wrong")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		return pa <= pb+1e-9 && pa >= lo-1e-9 && pb <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := &Run{Policy: "TPP", Workload: "Web1", NormalizedThroughput: 0.995, AvgLocalTraffic: 0.9, AvgLatencyNs: 115}
+	got := r.String()
+	want := "Web1/TPP: throughput=99.5% local=90.0% lat=115ns"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	r.Failed = true
+	r.FailReason = "promotion starvation"
+	if r.String() != "Web1/TPP: FAILS (promotion starvation)" {
+		t.Fatalf("failed String = %q", r.String())
+	}
+}

@@ -1,0 +1,191 @@
+// Package migrate implements the page-migration engine both TPP paths use:
+// demotion of cold pages from local DRAM to CXL-Memory (§5.1) and
+// promotion of trapped hot pages back up (§5.3). It mirrors the kernel's
+// migrate_pages() contract: isolate the page from its LRU, reserve space
+// on the destination, move it, and put it back on the destination's LRU —
+// with explicit failure reasons (destination low on memory, abnormal page
+// references, isolation failure) that feed the §5.5 observability
+// counters.
+//
+// The engine also tracks moved bytes per window so experiments can verify
+// the paper's §7 claim that steady-state migration traffic is only
+// 4–16 MB/s, far below CXL link bandwidth.
+package migrate
+
+import (
+	"errors"
+	"fmt"
+
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/xrand"
+)
+
+// Reason says why a migration is happening; it selects destination LRU
+// placement and PG_demoted handling.
+type Reason uint8
+
+const (
+	// Demotion moves a reclaim victim down a tier. The page lands on the
+	// destination's *inactive* list (it was cold) and PG_demoted is set.
+	Demotion Reason = iota
+	// Promotion moves a hot page up a tier. The page lands on the
+	// destination's *active* list; PG_demoted is cleared, and if it was
+	// set the move counts as ping-pong traffic (§5.5).
+	Promotion
+)
+
+// Errors returned by Migrate, matching the paper's failure taxonomy.
+var (
+	// ErrTargetFull: the destination node has no free page (§5.3's
+	// "local node having low memory" promotion failure; for demotion,
+	// §5.1's fall-back-to-reclaim trigger).
+	ErrTargetFull = errors.New("migrate: destination node full")
+	// ErrBusy: the page could not be isolated from its LRU (already
+	// isolated by a concurrent path) or is unevictable.
+	ErrBusy = errors.New("migrate: page busy or unevictable")
+	// ErrRefs: abnormal references held the page (injected with a small
+	// probability to exercise the failure counters).
+	ErrRefs = errors.New("migrate: abnormal page references")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// PerPageNs is the CPU cost of moving one 4 KB page (unmap, copy,
+	// remap). Default 3 µs.
+	PerPageNs float64
+	// RefsFailProb injects ErrRefs with this probability per attempt,
+	// modeling transient reference pins. Default 0.002.
+	RefsFailProb float64
+	// WatermarkGuard, when true, refuses migrations that would push the
+	// destination below its min watermark rather than only when the node
+	// is completely full. This keeps a promotion from eating the
+	// emergency reserve.
+	WatermarkGuard bool
+}
+
+// Engine performs migrations over a machine's store/topology/LRU vectors.
+type Engine struct {
+	cfg   Config
+	store *mem.Store
+	topo  *tier.Topology
+	vecs  []*lru.Vec
+	stat  *vmstat.Stat
+	rng   *xrand.RNG
+
+	movedPages  uint64 // total pages successfully moved
+	windowPages uint64 // pages moved since last TakeWindow
+}
+
+// NewEngine returns a migration engine. vecs must be indexed by NodeID.
+func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.Stat, rng *xrand.RNG) *Engine {
+	if cfg.PerPageNs == 0 {
+		cfg.PerPageNs = 3_000
+	}
+	if cfg.RefsFailProb == 0 {
+		cfg.RefsFailProb = 0.002
+	}
+	return &Engine{cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat, rng: rng}
+}
+
+// PerPageCost returns the configured per-page migration cost in ns.
+func (e *Engine) PerPageCost() float64 { return e.cfg.PerPageNs }
+
+// MovedPages returns the total number of pages migrated since creation.
+func (e *Engine) MovedPages() uint64 { return e.movedPages }
+
+// TakeWindow returns the number of pages migrated since the previous call
+// and resets the window, for bandwidth-rate reporting.
+func (e *Engine) TakeWindow() uint64 {
+	n := e.windowPages
+	e.windowPages = 0
+	return n
+}
+
+// Migrate moves pfn to node dest for the given reason. On success it
+// returns the CPU cost in ns. On failure the page is left exactly where it
+// was (putback performed if isolation had succeeded).
+func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs float64, err error) {
+	pg := e.store.Page(pfn)
+	src := pg.Node
+	if src == dest {
+		return 0, fmt.Errorf("migrate: page %d already on node %d", pfn, dest)
+	}
+	if pg.Flags.Has(mem.PGUnevictable) {
+		return 0, ErrBusy
+	}
+
+	// Step 1: isolate from the source LRU.
+	if !e.vecs[src].Isolate(pfn) {
+		e.fail(reason)
+		return 0, ErrBusy
+	}
+
+	// Step 2: transient reference failures.
+	if e.rng.Bool(e.cfg.RefsFailProb) {
+		e.vecs[src].Putback(pfn)
+		e.fail(reason)
+		if reason == Promotion {
+			e.stat.Inc(vmstat.PromoteFailRefs)
+		}
+		return 0, ErrRefs
+	}
+
+	// Step 3: reserve space on the destination.
+	dn := e.topo.Node(dest)
+	full := dn.Free() == 0
+	if !full && e.cfg.WatermarkGuard && dn.Free() <= dn.WM.Min {
+		full = true
+	}
+	if full || !dn.Acquire(pg.Type) {
+		e.vecs[src].Putback(pfn)
+		e.fail(reason)
+		if reason == Promotion {
+			e.stat.Inc(vmstat.PromoteFailLowMem)
+		}
+		return 0, ErrTargetFull
+	}
+
+	// Step 4: move.
+	e.topo.Node(src).Release(pg.Type)
+	pg.Node = dest
+	switch reason {
+	case Demotion:
+		pg.Flags = pg.Flags.Set(mem.PGDemoted)
+		// Demoted pages arrive cold: inactive list, referenced cleared so
+		// the CXL node's LRU starts aging them fresh.
+		pg.Flags = pg.Flags.Clear(mem.PGReferenced)
+		e.vecs[dest].Add(pfn, false)
+		if pg.Type.IsFileLike() {
+			e.stat.Inc(vmstat.PgdemoteFile)
+		} else {
+			e.stat.Inc(vmstat.PgdemoteAnon)
+		}
+	case Promotion:
+		if pg.Flags.Has(mem.PGDemoted) {
+			// Ping-pong: a demoted page came straight back (§5.5).
+			e.stat.Inc(vmstat.PgpromoteDemoted)
+		}
+		pg.Flags = pg.Flags.Clear(mem.PGDemoted)
+		e.vecs[dest].Add(pfn, true)
+		if pg.Type.IsFileLike() {
+			e.stat.Inc(vmstat.PgpromoteFile)
+		} else {
+			e.stat.Inc(vmstat.PgpromoteAnon)
+		}
+		e.stat.Inc(vmstat.PgpromoteSuccess)
+	}
+	e.stat.Inc(vmstat.PgmigrateSuccess)
+	e.movedPages++
+	e.windowPages++
+	return e.cfg.PerPageNs, nil
+}
+
+func (e *Engine) fail(reason Reason) {
+	e.stat.Inc(vmstat.PgmigrateFail)
+	if reason == Demotion {
+		e.stat.Inc(vmstat.PgdemoteFail)
+	}
+}

@@ -1,0 +1,247 @@
+// Package numab implements NUMA Balancing (AutoNUMA) and TPP's
+// modifications to it (§5.3 of the paper). The classic mechanism
+// periodically unmaps a window of a process's memory (the paper's default
+// 256 MB); the next touch of an unmapped page raises a *NUMA hint fault*,
+// and a page faulted from a remote node is migrated toward the faulting
+// CPU ("promotion").
+//
+// TPP changes three things, each independently switchable here for the
+// ablation experiments:
+//
+//   - CXLOnly: sample only CXL nodes. Hot pages on the local node never
+//     need promotion, so sampling them is pure hint-fault overhead.
+//   - ActiveLRUFilter: promote a hint-faulted page only if it is on the
+//     active LRU list; a page found on the inactive list is instead
+//     marked accessed and moved to the active list (hysteresis), so it
+//     is promoted on its *next* hint fault if still hot. This kills the
+//     promotion ping-pong of opportunistic promotion.
+//   - IgnoreAllocWatermark: promotion bypasses the allocation watermark
+//     on the target node (pressure from promotions then drives more
+//     demotion of colder local pages).
+package numab
+
+import (
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/migrate"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+)
+
+// Config tunes the balancer.
+type Config struct {
+	// Enabled turns the whole mechanism on; default Linux without NUMA
+	// balancing runs with this false.
+	Enabled bool
+	// ScanPeriodTicks is how many simulator ticks between sampling scans.
+	// Default 20 (twenty simulated seconds).
+	ScanPeriodTicks uint64
+	// ScanSizePages is the number of mapped pages unmapped per scan (the
+	// kernel's 256 MB window, scaled to the simulated machine).
+	// Default 4096.
+	ScanSizePages int
+	// CXLOnly restricts sampling to CXL nodes (TPP).
+	CXLOnly bool
+	// ActiveLRUFilter enables TPP's active-list promotion filter.
+	ActiveLRUFilter bool
+	// IgnoreAllocWatermark lets promotions bypass the allocation
+	// watermark, requiring only that the target stay above min (TPP).
+	IgnoreAllocWatermark bool
+	// HintFaultNs is the minor-fault cost charged to the faulting access.
+	// Default 1500 ns.
+	HintFaultNs float64
+	// PromotionGate, when non-nil, is consulted before each promotion
+	// attempt; returning false blocks it (counted as an isolate failure).
+	// The AutoTiering baseline uses this for its fixed-size promotion
+	// buffer (§6.3).
+	PromotionGate func() bool
+	// OnPromoted, when non-nil, is invoked after each successful
+	// promotion (AutoTiering consumes a buffer slot).
+	OnPromoted func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScanPeriodTicks == 0 {
+		c.ScanPeriodTicks = 20
+	}
+	if c.ScanSizePages == 0 {
+		c.ScanSizePages = 4096
+	}
+	if c.HintFaultNs == 0 {
+		c.HintFaultNs = 1500
+	}
+	return c
+}
+
+// Balancer is the per-machine NUMA-balancing task.
+type Balancer struct {
+	cfg    Config
+	store  *mem.Store
+	topo   *tier.Topology
+	vecs   []*lru.Vec
+	stat   *vmstat.Stat
+	engine *migrate.Engine
+	as     *pagetable.AddressSpace
+
+	// VA-order scan cursor (the kernel walks mm->mmap sequentially and
+	// wraps).
+	cursorRegion int
+	cursorOffset pagetable.VPN
+	sinceScan    uint64
+}
+
+// New wires a balancer over the machine.
+func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
+	stat *vmstat.Stat, engine *migrate.Engine, as *pagetable.AddressSpace) *Balancer {
+	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as}
+}
+
+// Config returns the balancer configuration.
+func (b *Balancer) Config() Config { return b.cfg }
+
+// Tick advances the scan clock; on period boundaries it runs one sampling
+// scan. Returns the background CPU consumed.
+func (b *Balancer) Tick() float64 {
+	if !b.cfg.Enabled {
+		return 0
+	}
+	b.sinceScan++
+	if b.sinceScan < b.cfg.ScanPeriodTicks {
+		return 0
+	}
+	b.sinceScan = 0
+	return b.scan()
+}
+
+// scan walks the address space in VA order from the cursor, poisoning up
+// to ScanSizePages in-scope mapped pages (setting PGHinted, the simulator's
+// PTE present-bit clearing).
+func (b *Balancer) scan() float64 {
+	const perPageNs = 150 // PTE walk + unmap cost per sampled page
+	regions := b.as.Regions()
+	if len(regions) == 0 {
+		return 0
+	}
+	if b.cursorRegion >= len(regions) {
+		b.cursorRegion = 0
+		b.cursorOffset = 0
+	}
+	marked := 0
+	visited := 0
+	// Bound the walk to one full pass over the address space per scan.
+	var totalPages uint64
+	for _, r := range regions {
+		totalPages += r.Pages
+	}
+	spent := 0.0
+	for marked < b.cfg.ScanSizePages && visited < int(totalPages) {
+		r := regions[b.cursorRegion]
+		if b.cursorOffset >= pagetable.VPN(r.Pages) {
+			b.cursorRegion = (b.cursorRegion + 1) % len(regions)
+			b.cursorOffset = 0
+			continue
+		}
+		v := r.Start + b.cursorOffset
+		b.cursorOffset++
+		visited++
+		pfn, ok := b.as.Translate(v)
+		if !ok {
+			continue
+		}
+		pg := b.store.Page(pfn)
+		if b.cfg.CXLOnly && b.topo.Node(pg.Node).Kind != mem.KindCXL {
+			continue
+		}
+		if pg.Flags.Has(mem.PGHinted) {
+			continue
+		}
+		pg.Flags = pg.Flags.Set(mem.PGHinted)
+		b.stat.Inc(vmstat.NumaPagesScanned)
+		marked++
+		spent += perPageNs
+	}
+	return spent
+}
+
+// AccessOutcome describes what happened on one memory access from the
+// balancer's point of view.
+type AccessOutcome struct {
+	// HintFault is true when the access hit a poisoned PTE; LatencyNs
+	// then carries the minor-fault cost.
+	HintFault bool
+	// Promoted is true when the access triggered a successful promotion.
+	Promoted bool
+	// LatencyNs is the extra latency charged to this access (fault
+	// service plus any synchronous migration wait).
+	LatencyNs float64
+}
+
+// OnAccess processes one CPU access to pfn. All simulated CPUs live on
+// local nodes, so any access to a CXL-resident page is a remote access.
+func (b *Balancer) OnAccess(pfn mem.PFN) AccessOutcome {
+	if !b.cfg.Enabled {
+		return AccessOutcome{}
+	}
+	pg := b.store.Page(pfn)
+	if !pg.Flags.Has(mem.PGHinted) {
+		return AccessOutcome{}
+	}
+	pg.Flags = pg.Flags.Clear(mem.PGHinted)
+	out := AccessOutcome{HintFault: true, LatencyNs: b.cfg.HintFaultNs}
+	b.stat.Inc(vmstat.NumaHintFaults)
+
+	node := b.topo.Node(pg.Node)
+	if node.Kind != mem.KindCXL {
+		// Local fault: nothing to promote.
+		b.stat.Inc(vmstat.NumaHintFaultsLocal)
+		return out
+	}
+	b.stat.Inc(vmstat.PgpromoteSampled)
+
+	// TPP's apt identification of trapped hot pages (§5.3).
+	if b.cfg.ActiveLRUFilter && !pg.Flags.Has(mem.PGActive) {
+		// Inactive page: not promoted now; activate so a subsequent hint
+		// fault finds it hot ( 2 in Fig. 13).
+		b.vecs[pg.Node].ForceActivate(pfn)
+		return out
+	}
+	b.stat.Inc(vmstat.PgpromoteCandidate)
+
+	if b.cfg.PromotionGate != nil && !b.cfg.PromotionGate() {
+		b.stat.Inc(vmstat.PromoteFailIsolate)
+		return out
+	}
+
+	target := b.topo.PromotionTarget()
+	if target == mem.NilNode {
+		b.stat.Inc(vmstat.PromoteFailGlobal)
+		return out
+	}
+	tn := b.topo.Node(target)
+	if b.cfg.IgnoreAllocWatermark {
+		// §5.3: "we ignore the allocation watermark checking for the
+		// target local node" — only the emergency reserve is off-limits
+		// (enforced by the engine's watermark guard).
+		if tn.Free() <= tn.WM.Min {
+			b.stat.Inc(vmstat.PromoteFailLowMem)
+			return out
+		}
+	} else if !tn.AllocOK() {
+		// Classic NUMA balancing refuses when the node is low.
+		b.stat.Inc(vmstat.PromoteFailLowMem)
+		return out
+	}
+
+	cost, err := b.engine.Migrate(pfn, target, migrate.Promotion)
+	if err != nil {
+		// Engine counted the failure reason.
+		return out
+	}
+	out.Promoted = true
+	out.LatencyNs += cost
+	if b.cfg.OnPromoted != nil {
+		b.cfg.OnPromoted()
+	}
+	return out
+}

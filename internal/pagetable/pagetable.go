@@ -1,0 +1,204 @@
+// Package pagetable models per-process virtual address spaces: the
+// VPN→PFN mapping the workload faults pages into, the region bookkeeping
+// (mmap/munmap), and the translation interface Chameleon's Worker uses as
+// its /proc/$PID/pagemap analogue (§3 of the paper).
+//
+// NUMA-balancing PTE poisoning is represented by the PGHinted flag on the
+// page itself rather than a shadow PTE bit: the simulator has exactly one
+// mapping per page, so the two are equivalent.
+package pagetable
+
+import (
+	"fmt"
+
+	"tppsim/internal/mem"
+)
+
+// VPN is a virtual page number within one address space.
+type VPN uint64
+
+// Region is a contiguous run of virtual pages created by Mmap.
+type Region struct {
+	Start VPN
+	Pages uint64
+	Type  mem.PageType
+}
+
+// End returns one past the last VPN of the region.
+func (r Region) End() VPN { return r.Start + VPN(r.Pages) }
+
+// Contains reports whether the VPN falls inside the region.
+func (r Region) Contains(v VPN) bool { return v >= r.Start && v < r.End() }
+
+// EvictKind records why a previously-mapped VPN currently has no
+// translation: reclaimed to swap (next access is a major fault that must
+// swap the page back in) or a dropped clean file page (next access
+// refaults from the backing file).
+type EvictKind uint8
+
+const (
+	// EvictNone: the VPN has never been populated (or was munmapped);
+	// first touch is an ordinary demand-zero / file-read minor fault.
+	EvictNone EvictKind = iota
+	// EvictSwap: the page was swapped out; refault is a major fault.
+	EvictSwap
+	// EvictFile: a clean file page was dropped; refault re-reads the file.
+	EvictFile
+)
+
+// AddressSpace is one process's page table, including the reverse map
+// (PFN→VPN) reclaim needs to unmap victim pages.
+type AddressSpace struct {
+	PID     int
+	table   map[VPN]mem.PFN
+	rmap    map[mem.PFN]VPN
+	evicted map[VPN]EvictKind
+	regions []Region
+	nextVPN VPN
+}
+
+// New returns an empty address space for the given PID.
+func New(pid int) *AddressSpace {
+	return &AddressSpace{
+		PID:     pid,
+		table:   make(map[VPN]mem.PFN),
+		rmap:    make(map[mem.PFN]VPN),
+		evicted: make(map[VPN]EvictKind),
+	}
+}
+
+// Mmap reserves a new region of the given size and page type. Pages are
+// not populated; the workload faults them in via MapPage on first touch,
+// mirroring demand paging.
+func (as *AddressSpace) Mmap(pages uint64, t mem.PageType) Region {
+	r := Region{Start: as.nextVPN, Pages: pages, Type: t}
+	as.regions = append(as.regions, r)
+	// Leave a guard gap so regions are never adjacent; catches off-by-one
+	// arithmetic in workload generators.
+	as.nextVPN += VPN(pages) + 16
+	return r
+}
+
+// Munmap removes the region and returns the PFNs of all pages that were
+// mapped inside it, so the caller can release node residency and free
+// them. Unknown regions panic: the simulator controls all regions.
+func (as *AddressSpace) Munmap(r Region) []mem.PFN {
+	idx := -1
+	for i, cand := range as.regions {
+		if cand.Start == r.Start && cand.Pages == r.Pages {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("pagetable: munmap of unknown region %+v", r))
+	}
+	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+	var pfns []mem.PFN
+	for v := r.Start; v < r.End(); v++ {
+		if pfn, ok := as.table[v]; ok {
+			pfns = append(pfns, pfn)
+			delete(as.table, v)
+			delete(as.rmap, pfn)
+		}
+		delete(as.evicted, v)
+	}
+	return pfns
+}
+
+// MapPage installs a translation. It panics on double-map, which would
+// indicate a fault-handling bug. Any eviction record for the VPN is
+// cleared: the page is resident again.
+func (as *AddressSpace) MapPage(v VPN, pfn mem.PFN) {
+	if _, ok := as.table[v]; ok {
+		panic(fmt.Sprintf("pagetable: double map of VPN %d", v))
+	}
+	as.table[v] = pfn
+	as.rmap[pfn] = v
+	delete(as.evicted, v)
+}
+
+// UnmapPage removes a translation, returning the PFN that was mapped.
+func (as *AddressSpace) UnmapPage(v VPN) (mem.PFN, bool) {
+	pfn, ok := as.table[v]
+	if ok {
+		delete(as.table, v)
+		delete(as.rmap, pfn)
+	}
+	return pfn, ok
+}
+
+// VPNOf returns the VPN a PFN is mapped at (the rmap lookup reclaim uses
+// to find the PTE for a victim page).
+func (as *AddressSpace) VPNOf(pfn mem.PFN) (VPN, bool) {
+	v, ok := as.rmap[pfn]
+	return v, ok
+}
+
+// UnmapPFN removes the translation for a PFN via the reverse map and
+// records why, so the next touch of the VPN takes the right fault path.
+// Returns the VPN that was unmapped.
+func (as *AddressSpace) UnmapPFN(pfn mem.PFN, kind EvictKind) (VPN, bool) {
+	v, ok := as.rmap[pfn]
+	if !ok {
+		return 0, false
+	}
+	delete(as.rmap, pfn)
+	delete(as.table, v)
+	if kind != EvictNone {
+		as.evicted[v] = kind
+	}
+	return v, true
+}
+
+// Evicted reports whether (and how) the VPN's page was evicted.
+func (as *AddressSpace) Evicted(v VPN) EvictKind { return as.evicted[v] }
+
+// EvictedCount returns the number of VPNs currently evicted with the
+// given kind; EvictNone counts all kinds.
+func (as *AddressSpace) EvictedCount(kind EvictKind) int {
+	if kind == EvictNone {
+		return len(as.evicted)
+	}
+	n := 0
+	for _, k := range as.evicted {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Translate returns the PFN mapped at the VPN, if any. This is the
+// simulator's /proc/$PID/pagemap.
+func (as *AddressSpace) Translate(v VPN) (mem.PFN, bool) {
+	pfn, ok := as.table[v]
+	return pfn, ok
+}
+
+// Mapped returns the number of populated pages.
+func (as *AddressSpace) Mapped() int { return len(as.table) }
+
+// Regions returns a copy of the current region list, Chameleon's
+// /proc/$PID/maps analogue.
+func (as *AddressSpace) Regions() []Region {
+	return append([]Region(nil), as.regions...)
+}
+
+// RegionOf returns the region containing the VPN.
+func (as *AddressSpace) RegionOf(v VPN) (Region, bool) {
+	for _, r := range as.regions {
+		if r.Contains(v) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// ForEachMapped visits every (VPN, PFN) pair. Iteration order is
+// unspecified; callers that need determinism must sort.
+func (as *AddressSpace) ForEachMapped(fn func(v VPN, pfn mem.PFN)) {
+	for v, pfn := range as.table {
+		fn(v, pfn)
+	}
+}

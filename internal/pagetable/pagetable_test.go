@@ -1,0 +1,199 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tppsim/internal/mem"
+)
+
+func TestMmapRegionsDisjoint(t *testing.T) {
+	as := New(1)
+	r1 := as.Mmap(100, mem.Anon)
+	r2 := as.Mmap(50, mem.File)
+	if r1.End() > r2.Start {
+		t.Fatalf("regions overlap: %+v %+v", r1, r2)
+	}
+	if !r1.Contains(r1.Start) || r1.Contains(r1.End()) {
+		t.Fatal("Contains boundary wrong")
+	}
+	if len(as.Regions()) != 2 {
+		t.Fatal("region list wrong")
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(10, mem.Anon)
+	as.MapPage(r.Start, 42)
+	pfn, ok := as.Translate(r.Start)
+	if !ok || pfn != 42 {
+		t.Fatalf("Translate = %d,%v", pfn, ok)
+	}
+	if _, ok := as.Translate(r.Start + 1); ok {
+		t.Fatal("unmapped VPN translated")
+	}
+	got, ok := as.UnmapPage(r.Start)
+	if !ok || got != 42 {
+		t.Fatal("UnmapPage wrong")
+	}
+	if as.Mapped() != 0 {
+		t.Fatal("Mapped count wrong")
+	}
+}
+
+func TestDoubleMapPanics(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(1, mem.Anon)
+	as.MapPage(r.Start, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double map did not panic")
+		}
+	}()
+	as.MapPage(r.Start, 2)
+}
+
+func TestMunmapReturnsMappedPFNs(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(5, mem.File)
+	as.MapPage(r.Start, 10)
+	as.MapPage(r.Start+2, 12)
+	pfns := as.Munmap(r)
+	if len(pfns) != 2 {
+		t.Fatalf("Munmap returned %d PFNs, want 2", len(pfns))
+	}
+	seen := map[mem.PFN]bool{}
+	for _, p := range pfns {
+		seen[p] = true
+	}
+	if !seen[10] || !seen[12] {
+		t.Fatalf("Munmap PFNs wrong: %v", pfns)
+	}
+	if as.Mapped() != 0 || len(as.Regions()) != 0 {
+		t.Fatal("Munmap left state behind")
+	}
+}
+
+func TestMunmapUnknownPanics(t *testing.T) {
+	as := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("munmap of unknown region did not panic")
+		}
+	}()
+	as.Munmap(Region{Start: 1, Pages: 1})
+}
+
+func TestRegionOf(t *testing.T) {
+	as := New(1)
+	r1 := as.Mmap(10, mem.Anon)
+	r2 := as.Mmap(10, mem.Tmpfs)
+	got, ok := as.RegionOf(r2.Start + 5)
+	if !ok || got.Start != r2.Start || got.Type != mem.Tmpfs {
+		t.Fatal("RegionOf wrong")
+	}
+	if _, ok := as.RegionOf(r1.End()); ok {
+		t.Fatal("guard gap resolved to a region")
+	}
+}
+
+func TestForEachMapped(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(4, mem.Anon)
+	for i := uint64(0); i < 4; i++ {
+		as.MapPage(r.Start+VPN(i), mem.PFN(i+100))
+	}
+	count := 0
+	as.ForEachMapped(func(v VPN, pfn mem.PFN) { count++ })
+	if count != 4 {
+		t.Fatalf("visited %d, want 4", count)
+	}
+}
+
+func TestReverseMap(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(4, mem.Anon)
+	as.MapPage(r.Start+1, 77)
+	v, ok := as.VPNOf(77)
+	if !ok || v != r.Start+1 {
+		t.Fatalf("VPNOf = %d,%v", v, ok)
+	}
+	if _, ok := as.VPNOf(78); ok {
+		t.Fatal("unknown PFN resolved")
+	}
+	as.UnmapPage(r.Start + 1)
+	if _, ok := as.VPNOf(77); ok {
+		t.Fatal("UnmapPage left rmap entry")
+	}
+}
+
+func TestUnmapPFNEviction(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(4, mem.Anon)
+	as.MapPage(r.Start, 5)
+	v, ok := as.UnmapPFN(5, EvictSwap)
+	if !ok || v != r.Start {
+		t.Fatalf("UnmapPFN = %d,%v", v, ok)
+	}
+	if as.Evicted(r.Start) != EvictSwap {
+		t.Fatal("eviction kind not recorded")
+	}
+	if as.EvictedCount(EvictSwap) != 1 || as.EvictedCount(EvictNone) != 1 {
+		t.Fatal("EvictedCount wrong")
+	}
+	if _, ok := as.Translate(r.Start); ok {
+		t.Fatal("translation survived UnmapPFN")
+	}
+	// Re-mapping clears the eviction record (swap-in path).
+	as.MapPage(r.Start, 6)
+	if as.Evicted(r.Start) != EvictNone {
+		t.Fatal("MapPage did not clear eviction record")
+	}
+}
+
+func TestUnmapPFNUnknown(t *testing.T) {
+	as := New(1)
+	if _, ok := as.UnmapPFN(99, EvictFile); ok {
+		t.Fatal("UnmapPFN of unmapped PFN succeeded")
+	}
+}
+
+func TestMunmapClearsEvicted(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(2, mem.File)
+	as.MapPage(r.Start, 1)
+	as.UnmapPFN(1, EvictFile)
+	as.Munmap(r)
+	if as.EvictedCount(EvictNone) != 0 {
+		t.Fatal("Munmap left eviction records")
+	}
+}
+
+// Property: mapping then unmapping arbitrary distinct VPN sets leaves the
+// table empty and returns every PFN exactly once.
+func TestMapUnmapProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		as := New(9)
+		r := as.Mmap(1<<16, mem.Anon)
+		seen := map[VPN]bool{}
+		want := 0
+		for i, off := range offsets {
+			v := r.Start + VPN(off)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			as.MapPage(v, mem.PFN(i))
+			want++
+		}
+		if as.Mapped() != want {
+			return false
+		}
+		pfns := as.Munmap(r)
+		return len(pfns) == want && as.Mapped() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package reclaim implements the kernel's memory reclaim paths over the
+// simulated machine: the per-node background daemon (kswapd), LRU aging
+// (active→inactive demotion of stale pages), and synchronous direct
+// reclaim. TPP's contributions live here:
+//
+//   - Migration-for-reclamation (§5.1): on the local node, reclaim
+//     candidates found at the inactive-list tails are *demoted* to the
+//     CXL node via page migration instead of being swapped/dropped, and
+//     both inactive lists (anon and file) are scanned. Migration failure
+//     falls back to the default reclaim action for that page.
+//   - Decoupled watermarks (§5.2): with TPP, kswapd on the local node
+//     wakes below the demotion watermark and keeps reclaiming until free
+//     pages reach it, while allocations continue against the (lower)
+//     allocation watermark in package alloc.
+//
+// CXL nodes always use default reclaim (drop/writeback/swap) — §5.1:
+// "As allocation on CXL-node is not performance critical, CXL-nodes use
+// the default reclamation mechanism."
+//
+// Default reclaim cost asymmetry: dropping a clean file page is cheap;
+// a dirty page pays writeback; anon and tmpfs pages need swap (and are
+// unreclaimable without it). Demotion-by-migration pays none of those,
+// which is where the paper's "44x faster freeing" (§6.1.1) comes from.
+package reclaim
+
+import (
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/migrate"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/swap"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+)
+
+// Config tunes the reclaim daemon.
+type Config struct {
+	// DemotionEnabled turns on migrate-instead-of-reclaim on local nodes
+	// (the TPP demotion path).
+	DemotionEnabled bool
+	// Decoupled selects the TPP wake/stop conditions (demotion watermark)
+	// instead of the classic low/high watermarks.
+	Decoupled bool
+	// TickBudgetNs bounds kswapd work per node per tick. Default 0.25 ms
+	// per one-second tick. The budget is what turns per-page costs into
+	// reclaim *rates* relative to workload demand at the simulator's
+	// scale: at 130 µs per dirty-file writeback, default reclaim frees
+	// ~2 pages/tick — persistently behind a Web-tier file flood — while
+	// TPP demotion at 3 µs per migration moves ~80 and keeps up. The
+	// per-page cost ratio is the paper's "44x faster" freeing (§6.1.1).
+	TickBudgetNs float64
+	// ScanBatch is the number of tail pages examined per shrink
+	// iteration. Default 32, as in the kernel's SWAP_CLUSTER_MAX.
+	ScanBatch int
+	// DropCleanNs is the cost of discarding one clean file page
+	// (unmap + TLB shootdown). Default 3 µs.
+	DropCleanNs float64
+	// WritebackNs is the cost of writing back one dirty file page before
+	// dropping it. Default 130 µs (IO-bound).
+	WritebackNs float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickBudgetNs == 0 {
+		c.TickBudgetNs = 0.25e6
+	}
+	if c.ScanBatch == 0 {
+		c.ScanBatch = 32
+	}
+	if c.DropCleanNs == 0 {
+		c.DropCleanNs = 3_000
+	}
+	if c.WritebackNs == 0 {
+		c.WritebackNs = 130_000
+	}
+	return c
+}
+
+// Daemon is the machine-wide reclaim subsystem (one logical kswapd per
+// node plus the direct-reclaim entry point).
+type Daemon struct {
+	cfg    Config
+	store  *mem.Store
+	topo   *tier.Topology
+	vecs   []*lru.Vec
+	stat   *vmstat.Stat
+	engine *migrate.Engine
+	swapd  *swap.Device // nil = no swap configured
+	as     *pagetable.AddressSpace
+
+	woken []bool
+}
+
+// New wires a reclaim daemon. swapd may be nil (the paper's evaluation
+// machines never swap). as is the address space used to unmap evicted
+// pages.
+func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
+	stat *vmstat.Stat, engine *migrate.Engine, swapd *swap.Device, as *pagetable.AddressSpace) *Daemon {
+	return &Daemon{
+		cfg:    cfg.withDefaults(),
+		store:  store,
+		topo:   topo,
+		vecs:   vecs,
+		stat:   stat,
+		engine: engine,
+		swapd:  swapd,
+		as:     as,
+		woken:  make([]bool, topo.NumNodes()),
+	}
+}
+
+// Config returns the daemon's configuration.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// Wake marks a node's kswapd runnable; the allocator calls this through
+// Allocator.WakeKswapd.
+func (d *Daemon) Wake(id mem.NodeID) { d.woken[id] = true }
+
+// wakeCondition reports whether node id's kswapd should run this tick.
+func (d *Daemon) wakeCondition(n *mem.Node) bool {
+	if d.cfg.Decoupled && n.Kind == mem.KindLocal {
+		return n.BelowDemote()
+	}
+	return n.BelowLow()
+}
+
+// targetFree is where kswapd stops reclaiming.
+func (d *Daemon) targetFree(n *mem.Node) uint64 {
+	if d.cfg.Decoupled && n.Kind == mem.KindLocal {
+		return n.WM.Demote
+	}
+	return n.WM.High
+}
+
+// Tick runs every node's kswapd once, respecting per-node CPU budgets.
+// It returns the total background CPU consumed (ns), which the simulator
+// charges against spare cores.
+func (d *Daemon) Tick() float64 {
+	var total float64
+	for i := 0; i < d.topo.NumNodes(); i++ {
+		n := d.topo.Node(mem.NodeID(i))
+		if !d.woken[i] && !d.wakeCondition(n) {
+			continue
+		}
+		spent := d.shrinkNode(n, d.targetFree(n), d.cfg.TickBudgetNs, false)
+		total += spent
+		// kswapd goes back to sleep once the target is met.
+		if n.Free() >= d.targetFree(n) {
+			d.woken[i] = false
+		}
+	}
+	return total
+}
+
+// DirectReclaim synchronously frees up to want pages on the node,
+// returning pages freed and the caller's stall time. Plugged into
+// alloc.Allocator.DirectReclaim.
+func (d *Daemon) DirectReclaim(id mem.NodeID, want uint64) (uint64, float64) {
+	n := d.topo.Node(id)
+	before := n.Free()
+	// Direct reclaim works toward min+want free pages with a tight
+	// budget: the faulting thread pays, so it is bounded.
+	target := n.Free() + want
+	if floor := n.WM.Min + want; target < floor {
+		target = floor
+	}
+	spent := d.shrinkNode(n, target, d.cfg.TickBudgetNs/4, true)
+	freed := uint64(0)
+	if f := n.Free(); f > before {
+		freed = f - before
+	}
+	return freed, spent
+}
+
+// SwapOutColdest proactively swaps out up to want cold pages from the
+// node's inactive-list tails, regardless of watermarks. This is the
+// memory.reclaim-style entry point TMO drives (§6.3.2): a user-space
+// controller "keeps pushing for memory reclamation" even when the kernel
+// sees no pressure. Referenced pages are skipped (rotated), not charged a
+// second chance. Returns (pages swapped, CPU ns). Requires a swap device;
+// without one it is a no-op.
+func (d *Daemon) SwapOutColdest(id mem.NodeID, want int) (int, float64) {
+	if d.swapd == nil || want <= 0 {
+		return 0, 0
+	}
+	n := d.topo.Node(id)
+	vec := d.vecs[id]
+	spent := 0.0
+	swapped := 0
+	for _, list := range [...]lru.ListID{lru.InactiveAnon, lru.InactiveFile} {
+		if swapped >= want {
+			break
+		}
+		vec.ScanTail(list, int(vec.Size(list)), func(pfn mem.PFN) bool {
+			if swapped >= want {
+				return false
+			}
+			pg := d.store.Page(pfn)
+			if pg.Flags.Has(mem.PGUnevictable) || pg.Flags.Has(mem.PGReferenced) {
+				return true // leave hot/pinned pages alone, keep scanning
+			}
+			cost, ok := d.swapd.PageOut()
+			if !ok {
+				return false // pool full
+			}
+			d.evict(n, vec, pfn, pagetable.EvictSwap)
+			spent += cost
+			swapped++
+			return true
+		})
+	}
+	return swapped, spent
+}
+
+// HasSwap reports whether a swap device is configured.
+func (d *Daemon) HasSwap() bool { return d.swapd != nil }
+
+// shrinkNode reclaims until free >= targetFree or the budget is spent,
+// using the kernel's scan-priority structure: start by scanning a small
+// fraction of each inactive list (priority 12 scans size>>12) and widen
+// the window each pass that fails to meet the target. Referenced pages
+// rotated by an early pass therefore get their second chance unless
+// pressure forces the priority low. Returns CPU ns consumed; direct
+// selects the direct-reclaim counters.
+func (d *Daemon) shrinkNode(n *mem.Node, targetFree uint64, budgetNs float64, direct bool) float64 {
+	const maxPriority = 12
+	spent := 0.0
+	vec := d.vecs[n.ID]
+	// Demotion only applies on CPU-attached nodes with a lower tier.
+	demoteTo := mem.NilNode
+	if d.cfg.DemotionEnabled && n.Kind == mem.KindLocal {
+		demoteTo = d.topo.DemotionTarget(n.ID)
+	}
+	spent += d.ageNode(n, vec)
+	for priority := maxPriority; priority >= 0; priority-- {
+		if n.Free() >= targetFree || spent >= budgetNs {
+			break
+		}
+		for _, id := range d.scanOrder(n, vec, demoteTo) {
+			if n.Free() >= targetFree || spent >= budgetNs {
+				break
+			}
+			scan := int(vec.Size(id) >> uint(priority))
+			if scan < d.cfg.ScanBatch {
+				scan = d.cfg.ScanBatch
+			}
+			spent += d.shrinkList(n, vec, id, demoteTo, budgetNs-spent, direct, scan)
+		}
+		// Keep the inactive lists supplied as they drain.
+		spent += d.ageNode(n, vec)
+	}
+	return spent
+}
+
+// scanOrder returns the inactive lists worth scanning on this node,
+// file-class first (cheapest victims), skipping lists that cannot make
+// progress (anon/tmpfs with neither swap nor demotion).
+func (d *Daemon) scanOrder(n *mem.Node, vec *lru.Vec, demoteTo mem.NodeID) []lru.ListID {
+	reclaimableAnon := demoteTo != mem.NilNode || d.swapd != nil
+	out := make([]lru.ListID, 0, 2)
+	if vec.Size(lru.InactiveFile) > 0 {
+		out = append(out, lru.InactiveFile)
+	}
+	if reclaimableAnon && vec.Size(lru.InactiveAnon) > 0 {
+		out = append(out, lru.InactiveAnon)
+	}
+	return out
+}
+
+// ageNode keeps each inactive list at least half the size of its active
+// list by deactivating pages from the active tail (shrink_active_list).
+func (d *Daemon) ageNode(n *mem.Node, vec *lru.Vec) float64 {
+	const deactivateNs = 300 // rotate cost per page
+	spent := 0.0
+	pairs := [2][2]lru.ListID{
+		{lru.ActiveAnon, lru.InactiveAnon},
+		{lru.ActiveFile, lru.InactiveFile},
+	}
+	for _, p := range pairs {
+		active, inactive := p[0], p[1]
+		for vec.Size(inactive)*2 < vec.Size(active) {
+			tail := vec.Tail(active)
+			if tail == mem.NilPFN {
+				break
+			}
+			pg := d.store.Page(tail)
+			if pg.Flags.Has(mem.PGReferenced) {
+				// Heavily used page: rotate within active, keep it hot.
+				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
+				vec.RotateToFront(tail)
+				d.stat.Inc(vmstat.PgRotated)
+			} else {
+				vec.Deactivate(tail)
+				d.stat.Inc(vmstat.PgdeactivateCt)
+			}
+			spent += deactivateNs
+		}
+	}
+	return spent
+}
+
+// shrinkList scans up to scan pages from one inactive list's tail,
+// reclaiming victims. Returns CPU ns consumed.
+func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo mem.NodeID, budgetNs float64, direct bool, scan int) float64 {
+	const scanNs = 200 // per-page scan overhead
+	spent := 0.0
+	scanCounter, stealCounter := vmstat.PgscanKswapd, vmstat.PgstealKswapd
+	demoteCounter := vmstat.PgdemoteKswapd
+	if direct {
+		scanCounter, stealCounter = vmstat.PgscanDirect, vmstat.PgstealDirect
+		demoteCounter = vmstat.PgdemoteDirect
+	}
+	vec.ScanTail(id, scan, func(pfn mem.PFN) bool {
+		if spent >= budgetNs {
+			return false
+		}
+		d.stat.Inc(scanCounter)
+		spent += scanNs
+		pg := d.store.Page(pfn)
+		if pg.Flags.Has(mem.PGUnevictable) {
+			vec.RotateToFront(pfn)
+			return true
+		}
+		if pg.Flags.Has(mem.PGReferenced) {
+			// Second chance: recently touched, rotate away.
+			pg.Flags = pg.Flags.Clear(mem.PGReferenced)
+			vec.RotateToFront(pfn)
+			d.stat.Inc(vmstat.PgRotated)
+			return true
+		}
+		// Victim. Try demotion first (§5.1), falling back to the default
+		// action for this page if migration fails.
+		if demoteTo != mem.NilNode {
+			cost, err := d.engine.Migrate(pfn, demoteTo, migrate.Demotion)
+			if err == nil {
+				spent += cost
+				d.stat.Inc(demoteCounter)
+				return true
+			}
+			d.stat.Inc(vmstat.PgdemoteFallbck)
+		}
+		cost, ok := d.defaultReclaim(n, vec, pfn)
+		spent += cost
+		if ok {
+			d.stat.Inc(stealCounter)
+		}
+		return true
+	})
+	return spent
+}
+
+// defaultReclaim performs the classic reclaim action for one page: drop
+// (clean file), writeback+drop (dirty file), or swap-out (anon/tmpfs).
+// Returns (cpuNs, freed).
+func (d *Daemon) defaultReclaim(n *mem.Node, vec *lru.Vec, pfn mem.PFN) (float64, bool) {
+	pg := d.store.Page(pfn)
+	switch {
+	case pg.Type == mem.File:
+		cost := d.cfg.DropCleanNs
+		if pg.Flags.Has(mem.PGDirty) {
+			cost = d.cfg.WritebackNs
+		}
+		d.evict(n, vec, pfn, pagetable.EvictFile)
+		return cost, true
+	default: // Anon and Tmpfs are swap-backed.
+		if d.swapd == nil {
+			// Unreclaimable: rotate out of the way.
+			vec.RotateToFront(pfn)
+			return 0, false
+		}
+		cost, ok := d.swapd.PageOut()
+		if !ok {
+			vec.RotateToFront(pfn)
+			return 0, false
+		}
+		d.evict(n, vec, pfn, pagetable.EvictSwap)
+		return cost, true
+	}
+}
+
+// evict removes the page from memory: unmap, unlink, release, free.
+func (d *Daemon) evict(n *mem.Node, vec *lru.Vec, pfn mem.PFN, kind pagetable.EvictKind) {
+	d.as.UnmapPFN(pfn, kind)
+	vec.Remove(pfn)
+	n.Release(d.store.Page(pfn).Type)
+	d.store.Free(pfn)
+}

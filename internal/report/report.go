@@ -1,0 +1,115 @@
+// Package report renders experiment results as aligned text tables and
+// CSV series, the output formats of cmd/experiments and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"tppsim/internal/metrics"
+)
+
+// Table is a simple row-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// F1 formats a float with one decimal.
+func F1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// SeriesCSV renders one or more series with a shared X column as CSV.
+// Series may have different lengths; missing cells render empty.
+func SeriesCSV(xLabel string, series ...*metrics.Series) string {
+	var b strings.Builder
+	b.WriteString(xLabel)
+	maxLen := 0
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	b.WriteString("\n")
+	// The first series with points provides X values.
+	var xs []float64
+	for _, s := range series {
+		if s.Len() == maxLen {
+			xs = s.X
+			break
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&b, "%.2f", xs[i])
+		for _, s := range series {
+			if i < s.Len() {
+				fmt.Fprintf(&b, ",%.4f", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

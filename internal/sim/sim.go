@@ -1,0 +1,503 @@
+// Package sim assembles the tiered-memory machine and runs a workload
+// under a placement policy. One Machine owns the full substrate stack —
+// page store, topology, per-node LRU vectors, allocator, reclaim daemon,
+// NUMA balancer, optional AutoTiering/TMO/Chameleon — and advances it in
+// one-second ticks:
+//
+//  1. the workload's Tick performs churn, growth, and warm-up flooding
+//     (each touch is a memory access, and fresh touches demand-fault
+//     pages through the allocator);
+//  2. AccessesPerTick sampled accesses draw from the workload's
+//     distribution; each one resolves latency by resident node, may take
+//     a NUMA hint fault (and trigger promotion), updates LRU aging, and
+//     feeds the profilers;
+//  3. the kernel daemons run (kswapd demotion/reclaim, NUMA-balancing
+//     scans, AutoTiering epochs, the TMO controller);
+//  4. metrics are folded into per-tick accumulators and time series.
+//
+// Throughput reporting follows the paper: per-tick average access latency
+// (plus amortized OS stall) drives the workload's throughput model,
+// normalized to an all-local baseline.
+package sim
+
+import (
+	"fmt"
+
+	"tppsim/internal/alloc"
+	"tppsim/internal/autotiering"
+	"tppsim/internal/chameleon"
+	"tppsim/internal/core"
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/migrate"
+	"tppsim/internal/numab"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/reclaim"
+	"tppsim/internal/swap"
+	"tppsim/internal/tier"
+	"tppsim/internal/tmo"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/workload"
+	"tppsim/internal/xrand"
+)
+
+// TickSeconds is the wall-clock length of one simulator tick.
+const TickSeconds = 1.0
+
+// Config describes one run.
+type Config struct {
+	Seed     uint64
+	Policy   core.Policy
+	Workload workload.Workload
+
+	// Node sizing. Either set LocalPages/CXLPages explicitly, or give a
+	// Ratio (e.g. {2,1} or {1,4}) to derive them from the workload's
+	// working set with Slack headroom. Ratio {1,0} builds the all-local
+	// baseline.
+	LocalPages uint64
+	CXLPages   uint64
+	Ratio      [2]uint64
+	// Slack is the capacity headroom over the working set (default 0.08;
+	// the paper: "the whole system has enough memory").
+	Slack float64
+	// CXLLatencyNs overrides the CXL load latency (Fig. 16 sweep).
+	CXLLatencyNs float64
+
+	// Minutes is the run length in simulated minutes (default 60).
+	Minutes int
+	// AccessesPerTick is the sampled access-stream rate (default 2000).
+	AccessesPerTick int
+	// AccessScale is how many real application accesses each sampled
+	// access represents (default 100). Per-page event costs (faults,
+	// migrations, stalls) are amortized over the real rate.
+	AccessScale float64
+	// RecordEveryTicks sets the series resolution (default 30).
+	RecordEveryTicks int
+	// EnableChameleon attaches the profiler.
+	EnableChameleon bool
+	// ChameleonConfig overrides profiler defaults when enabled.
+	ChameleonConfig chameleon.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Minutes == 0 {
+		c.Minutes = 60
+	}
+	if c.AccessesPerTick == 0 {
+		c.AccessesPerTick = 2000
+	}
+	if c.AccessScale == 0 {
+		c.AccessScale = 100
+	}
+	if c.RecordEveryTicks == 0 {
+		c.RecordEveryTicks = 30
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.08
+	}
+	if c.Ratio == [2]uint64{} && c.LocalPages == 0 {
+		c.Ratio = [2]uint64{2, 1}
+	}
+	return c
+}
+
+// Machine is one assembled simulation instance.
+type Machine struct {
+	cfg   Config
+	store *mem.Store
+	topo  *tier.Topology
+	vecs  []*lru.Vec
+	stat  *vmstat.Stat
+	as    *pagetable.AddressSpace
+
+	engine    *migrate.Engine
+	allocator *alloc.Allocator
+	daemon    *reclaim.Daemon
+	balancer  *numab.Balancer
+	atier     *autotiering.Tiering
+	tmoctl    *tmo.Controller
+	swapd     *swap.Device
+	cham      *chameleon.Chameleon
+
+	wl    workload.Workload
+	rng   *xrand.RNG
+	wlRNG *xrand.RNG
+
+	tick     uint64
+	cur      metrics.Tick
+	run      *metrics.Run
+	baseLat  float64
+	failed   bool
+	failWhy  string
+	prevSnap vmstat.Snapshot
+}
+
+// New assembles a machine from the config.
+func New(cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("sim: no workload")
+	}
+	local, cxl := cfg.LocalPages, cfg.CXLPages
+	if local == 0 {
+		local, cxl = tier.RatioPages(cfg.Workload.TotalPages(), cfg.Ratio[0], cfg.Ratio[1], cfg.Slack)
+	}
+	topo, err := tier.NewCXLSystem(tier.Config{
+		LocalPages:   local,
+		CXLPages:     cxl,
+		CXLLatencyNs: cfg.CXLLatencyNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		cfg:   cfg,
+		topo:  topo,
+		store: mem.NewStore(int(local + cxl)),
+		stat:  vmstat.New(),
+		as:    pagetable.New(1),
+		wl:    cfg.Workload,
+		rng:   xrand.New(cfg.Seed ^ 0x7070), // kernel-side randomness
+	}
+	m.wlRNG = xrand.New(cfg.Seed)
+	m.vecs = make([]*lru.Vec, topo.NumNodes())
+	for i := range m.vecs {
+		m.vecs[i] = lru.NewVec(m.store)
+	}
+
+	p := cfg.Policy
+	m.engine = migrate.NewEngine(p.Migrate, m.store, topo, m.vecs, m.stat, m.rng.Split())
+	if p.TMO != nil || p.NeedSwap {
+		m.swapd = swap.New(swap.Config{Kind: swap.KindZswap}, m.stat)
+	}
+	m.allocator = alloc.New(p.Alloc, m.store, topo, m.vecs, m.stat)
+	m.daemon = reclaim.New(p.Reclaim, m.store, topo, m.vecs, m.stat, m.engine, m.swapd, m.as)
+	m.allocator.WakeKswapd = m.daemon.Wake
+	m.allocator.DirectReclaim = m.daemon.DirectReclaim
+
+	nb := p.NUMAB
+	if p.AutoTiering != nil {
+		m.atier = autotiering.New(*p.AutoTiering, m.store, topo, m.vecs, m.stat, m.engine)
+		nb.PromotionGate = m.atier.PromotionGate
+		nb.OnPromoted = m.atier.OnPromoted
+	}
+	// Scale the sampling window to the machine: the kernel's 256 MB
+	// default against hundreds of GB corresponds to a few percent of the
+	// working set per scan.
+	if nb.Enabled && nb.ScanSizePages == 0 {
+		nb.ScanSizePages = int(cfg.Workload.TotalPages() / 32)
+	}
+	m.balancer = numab.New(nb, m.store, topo, m.vecs, m.stat, m.engine, m.as)
+
+	if p.TMO != nil {
+		m.tmoctl = tmo.New(*p.TMO, topo, m.daemon, m.swapd)
+	}
+	if cfg.EnableChameleon {
+		m.cham = chameleon.New(cfg.ChameleonConfig, m.as, m.store, m.rng.Split())
+	}
+
+	m.baseLat = topo.Traits(0).LoadLatency
+	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
+	m.wl.Start(m)
+	m.prevSnap = m.stat.Snapshot()
+	return m, nil
+}
+
+// --- workload.Ctx implementation -----------------------------------------
+
+// Mmap implements workload.Ctx.
+func (m *Machine) Mmap(pages uint64, t mem.PageType) pagetable.Region {
+	return m.as.Mmap(pages, t)
+}
+
+// Munmap implements workload.Ctx: frees every populated page.
+func (m *Machine) Munmap(r pagetable.Region) {
+	for _, pfn := range m.as.Munmap(r) {
+		m.allocator.FreePage(pfn)
+	}
+}
+
+// Touch implements workload.Ctx: one access, demand-faulting if needed.
+func (m *Machine) Touch(v pagetable.VPN) { m.access(v) }
+
+// RNG implements workload.Ctx.
+func (m *Machine) RNG() *xrand.RNG { return m.wlRNG }
+
+// --- core loop ------------------------------------------------------------
+
+// access performs one memory access at v, charging latency and updating
+// every interested subsystem.
+func (m *Machine) access(v pagetable.VPN) {
+	if m.failed {
+		return
+	}
+	const minorFaultNs = 1000
+	var load, event float64
+	pfn, ok := m.as.Translate(v)
+	if !ok {
+		// Fault path: these are per-page costs, amortized over the real
+		// access rate in the averages.
+		r, found := m.as.RegionOf(v)
+		if !found {
+			panic(fmt.Sprintf("sim: access outside any region: %d", v))
+		}
+		evict := m.as.Evicted(v)
+		res, err := m.allocator.AllocPage(r.Type, 0)
+		if err != nil {
+			m.fail("out of memory: " + err.Error())
+			return
+		}
+		pfn = res.PFN
+		m.as.MapPage(v, pfn)
+		event += minorFaultNs + res.StallNs
+		m.cur.StallNs += res.StallNs
+		m.cur.AllocPages++
+		if m.topo.Node(res.Node).Kind == mem.KindLocal {
+			m.cur.AllocLocal++
+		}
+		switch evict {
+		case pagetable.EvictSwap:
+			// Major fault: the page comes back from the swap pool.
+			cost := m.swapd.PageIn()
+			event += cost
+			m.cur.StallNs += cost
+		case pagetable.EvictFile:
+			// Refault of a dropped file page: re-read from storage.
+			const refaultNs = 20_000
+			event += refaultNs
+			m.cur.StallNs += refaultNs
+		}
+		// Dirty-at-fault probability from the region's spec is applied by
+		// the workload indirectly: file pages written during warm-up are
+		// dirty. We model it with the region's page type: file pages
+		// faulted during the warm-up flood are dirtied below by the
+		// workload profile's DirtyProb; since the simulator does not see
+		// the spec here, dirtiness is set by a separate hook.
+		m.dirtyHook(pfn, r)
+	}
+
+	pg := m.store.Page(pfn)
+	load += m.topo.Traits(pg.Node).LoadLatency
+	servedLocal := m.topo.Node(pg.Node).Kind == mem.KindLocal
+
+	// NUMA-balancing hint fault and possible promotion: per-page event
+	// costs, paid once per hint regardless of access rate.
+	out := m.balancer.OnAccess(pfn)
+	event += out.LatencyNs
+
+	// LRU aging and AutoTiering frequency counting.
+	m.vecs[pg.Node].MarkAccessed(pfn)
+	if m.atier != nil {
+		m.atier.RecordAccess(pfn)
+	}
+	if m.cham != nil {
+		m.cham.OnAccess(v)
+	}
+	pg.LastAccessTick = m.tick
+
+	m.cur.Accesses++
+	if servedLocal {
+		m.cur.LocalAccesses++
+	}
+	m.cur.LatencySumNs += load
+	m.cur.EventNs += event
+}
+
+// dirtyHook marks freshly faulted file pages dirty according to the
+// owning region's profile, so default reclaim pays writeback for them.
+func (m *Machine) dirtyHook(pfn mem.PFN, r pagetable.Region) {
+	if !r.Type.IsFileLike() {
+		return
+	}
+	prob := m.dirtyProbFor(r)
+	if prob > 0 && m.rng.Bool(prob) {
+		pg := m.store.Page(pfn)
+		pg.Flags = pg.Flags.Set(mem.PGDirty)
+	}
+}
+
+// dirtyProbFor finds the workload's DirtyProb for the region, when the
+// workload is a Profile. Other workloads default to clean pages.
+func (m *Machine) dirtyProbFor(r pagetable.Region) float64 {
+	p, ok := m.wl.(*workload.Profile)
+	if !ok {
+		return 0
+	}
+	for i := range p.Specs {
+		// Regions are identified by size+type; profiles keep them unique
+		// enough for this purpose (churn segments share spec sizes).
+		spec := &p.Specs[i]
+		if spec.Type == r.Type && (spec.Pages == r.Pages ||
+			(spec.ChurnSegments > 0 && r.Pages == spec.Pages/uint64(spec.ChurnSegments))) {
+			return spec.DirtyProb
+		}
+	}
+	return 0
+}
+
+// fail aborts the run (AutoTiering crash, OOM).
+func (m *Machine) fail(why string) {
+	if !m.failed {
+		m.failed = true
+		m.failWhy = why
+	}
+}
+
+// Step advances the machine one tick.
+func (m *Machine) Step() {
+	if m.failed {
+		return
+	}
+	m.cur = metrics.Tick{}
+
+	// 1. Workload housekeeping (may Touch pages).
+	m.wl.Tick(m, m.tick)
+
+	// 2. Access stream.
+	for i := 0; i < m.cfg.AccessesPerTick && !m.failed; i++ {
+		v, ok := m.wl.NextAccess(m, m.tick)
+		if !ok {
+			break
+		}
+		m.access(v)
+	}
+
+	// 3. Daemons.
+	m.daemon.Tick()
+	m.balancer.Tick()
+	if m.atier != nil {
+		m.atier.Tick()
+		if m.atier.Failed() {
+			m.fail("AutoTiering promotion starvation crash")
+		}
+	}
+	if m.tmoctl != nil {
+		m.tmoctl.ObserveStall(m.cur.StallNs, TickSeconds*1e9)
+		m.tmoctl.Tick()
+	}
+	if m.cham != nil {
+		m.cham.Tick()
+	}
+
+	// 4. Metrics.
+	m.fold()
+	m.tick++
+}
+
+// fold updates series and counters at the end of a tick.
+func (m *Machine) fold() {
+	snap := m.stat.Snapshot()
+	delta := snap.Delta(m.prevSnap)
+	m.prevSnap = snap
+	m.cur.PromotedPages = delta.Get(vmstat.PgpromoteSuccess)
+	m.cur.DemotedPages = delta.Get(vmstat.PgdemoteKswapd) + delta.Get(vmstat.PgdemoteDirect)
+
+	if m.tick%uint64(m.cfg.RecordEveryTicks) != 0 {
+		return
+	}
+	minutes := float64(m.tick) / workload.TicksPerMinute
+	pageKB := float64(mem.PageSize) / 1024
+	m.run.LocalTraffic.Append(minutes, m.cur.LocalFraction())
+	m.run.AvgLatency.Append(minutes, m.cur.AvgLatencyNs(m.cfg.AccessScale))
+	m.run.AllocRate.Append(minutes, float64(m.cur.AllocPages)*pageKB/1024/TickSeconds)      // MB/s
+	m.run.LocalAllocRate.Append(minutes, float64(m.cur.AllocLocal)*pageKB/1024/TickSeconds) // MB/s
+	m.run.PromotionRate.Append(minutes, float64(m.cur.PromotedPages)*pageKB/TickSeconds)
+	m.run.DemotionRate.Append(minutes, float64(m.cur.DemotedPages)*pageKB/TickSeconds)
+	m.run.MigrationRate.Append(minutes, float64(m.engine.TakeWindow())*pageKB/1024/
+		(TickSeconds*float64(m.cfg.RecordEveryTicks)))
+	m.run.Throughput.Append(minutes, m.tickThroughput())
+	m.run.AnonResidency.Append(minutes, m.anonLocalFraction())
+	var anon, file, total float64
+	for _, n := range m.topo.Nodes() {
+		anon += float64(n.ResidentByType(mem.Anon))
+		file += float64(n.ResidentByType(mem.File) + n.ResidentByType(mem.Tmpfs))
+		total += float64(n.Capacity)
+	}
+	m.run.UtilTotal.Append(minutes, (anon+file)/total)
+	m.run.UtilAnon.Append(minutes, anon/total)
+	m.run.UtilFile.Append(minutes, file/total)
+}
+
+// tickThroughput computes this tick's normalized throughput from the
+// throughput model: OS stall is amortized as extra per-access latency.
+func (m *Machine) tickThroughput() float64 {
+	if m.cur.Accesses == 0 {
+		return 1
+	}
+	avg := m.cur.AvgLatencyNs(m.cfg.AccessScale)
+	return m.wl.Model().Normalized(avg, 0, m.baseLat)
+}
+
+// anonLocalFraction reports what share of anon pages sit on local nodes.
+func (m *Machine) anonLocalFraction() float64 {
+	var local, total uint64
+	for _, n := range m.topo.Nodes() {
+		c := n.ResidentByType(mem.Anon)
+		total += c
+		if n.Kind == mem.KindLocal {
+			local += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(local) / float64(total)
+}
+
+// Run executes the configured number of minutes and returns the results.
+func (m *Machine) Run() *metrics.Run {
+	ticks := uint64(m.cfg.Minutes) * workload.TicksPerMinute
+	for m.tick < ticks && !m.failed {
+		m.Step()
+	}
+	m.finish()
+	return m.run
+}
+
+// finish computes run-level scalars.
+func (m *Machine) finish() {
+	m.run.Failed = m.failed
+	m.run.FailReason = m.failWhy
+	if m.failed {
+		return
+	}
+	// Steady state: the last 60% of the run, past warm-up and
+	// convergence.
+	m.run.AvgLocalTraffic = m.run.LocalTraffic.Tail(0.6)
+	m.run.AvgLatencyNs = m.run.AvgLatency.Tail(0.6)
+	m.run.NormalizedThroughput = m.run.Throughput.Tail(0.6)
+}
+
+// --- accessors for experiments and tests ----------------------------------
+
+// Stat returns the vmstat registry.
+func (m *Machine) Stat() *vmstat.Stat { return m.stat }
+
+// Topology returns the machine topology.
+func (m *Machine) Topology() *tier.Topology { return m.topo }
+
+// Engine returns the migration engine.
+func (m *Machine) Engine() *migrate.Engine { return m.engine }
+
+// AddressSpace returns the workload's address space.
+func (m *Machine) AddressSpace() *pagetable.AddressSpace { return m.as }
+
+// Chameleon returns the attached profiler (nil unless enabled).
+func (m *Machine) Chameleon() *chameleon.Chameleon { return m.cham }
+
+// TMO returns the TMO controller (nil unless configured).
+func (m *Machine) TMO() *tmo.Controller { return m.tmoctl }
+
+// Swap returns the swap device (nil unless configured).
+func (m *Machine) Swap() *swap.Device { return m.swapd }
+
+// Tick returns the current tick number.
+func (m *Machine) Tick() uint64 { return m.tick }
+
+// Failed reports whether the run has aborted.
+func (m *Machine) Failed() (bool, string) { return m.failed, m.failWhy }
+
+// Results returns the (possibly in-progress) run metrics.
+func (m *Machine) Results() *metrics.Run { return m.run }

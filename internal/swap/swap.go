@@ -1,0 +1,135 @@
+// Package swap models the swap device the default kernel reclaims to and
+// the zswap-style compressed pool TMO offloads into. TPP's key argument
+// against swap-backed CXL abstractions (§4 of the paper) is cost-based:
+// every access to a swapped page takes a major fault plus a whole-page
+// transfer, pushing effective latency far above CXL's ~200 ns load/store
+// path. This package provides exactly those costs so the experiments can
+// demonstrate the gap.
+//
+// The reclaim-speed asymmetry in §5.1/§6.3 ("migration to a NUMA node is
+// orders of magnitude faster than swapping"; default Linux frees the local
+// node 44x slower than TPP) comes from PageOutNs here versus the per-page
+// migration cost in package migrate.
+package swap
+
+import (
+	"fmt"
+
+	"tppsim/internal/vmstat"
+)
+
+// Kind selects the backing store for the swap pool.
+type Kind uint8
+
+const (
+	// KindZswap is an in-memory compressed pool (the paper's (z)swap).
+	KindZswap Kind = iota
+	// KindDisk is a flash/disk swap partition.
+	KindDisk
+)
+
+// Config parameterizes a swap device.
+type Config struct {
+	Kind Kind
+	// CapacityPages bounds the pool (0 = unbounded).
+	CapacityPages uint64
+	// PageOutNs is the CPU+IO cost to evict one page (compression for
+	// zswap, write IO for disk). Defaults: 30 µs zswap, 120 µs disk —
+	// the dominant term in reclaim slowness.
+	PageOutNs float64
+	// PageInNs is the major-fault service cost to bring one page back.
+	// Defaults per Fig. 2: 3 µs zswap, 25 µs disk.
+	PageInNs float64
+	// CompressionRatio is bytes-in over bytes-stored for zswap (default
+	// 3.0); disk stores uncompressed.
+	CompressionRatio float64
+}
+
+// Device is one swap target with occupancy accounting.
+type Device struct {
+	cfg  Config
+	used uint64
+	stat *vmstat.Stat
+}
+
+// New returns a device with defaults filled in.
+func New(cfg Config, stat *vmstat.Stat) *Device {
+	if cfg.PageOutNs == 0 {
+		if cfg.Kind == KindZswap {
+			cfg.PageOutNs = 30_000
+		} else {
+			cfg.PageOutNs = 120_000
+		}
+	}
+	if cfg.PageInNs == 0 {
+		if cfg.Kind == KindZswap {
+			cfg.PageInNs = 3_000
+		} else {
+			cfg.PageInNs = 25_000
+		}
+	}
+	if cfg.CompressionRatio == 0 {
+		if cfg.Kind == KindZswap {
+			cfg.CompressionRatio = 3.0
+		} else {
+			cfg.CompressionRatio = 1.0
+		}
+	}
+	return &Device{cfg: cfg, stat: stat}
+}
+
+// Kind returns the device kind.
+func (d *Device) Kind() Kind { return d.cfg.Kind }
+
+// Used returns the number of pages currently swapped out.
+func (d *Device) Used() uint64 { return d.used }
+
+// StoredBytes returns the physical footprint of the pool after
+// compression; for zswap this is what the pool costs in DRAM, and the
+// difference versus Used()*PageSize is TMO's "memory saving".
+func (d *Device) StoredBytes() float64 {
+	return float64(d.used) * 4096 / d.cfg.CompressionRatio
+}
+
+// SavedPages returns the net pages of memory freed by the pool: pages
+// swapped out minus the compressed pool's own footprint.
+func (d *Device) SavedPages() float64 {
+	return float64(d.used) - float64(d.used)/d.cfg.CompressionRatio
+}
+
+// PageOut evicts one page. It returns the time charged and false when the
+// pool is full (reclaim must then skip the page).
+func (d *Device) PageOut() (costNs float64, ok bool) {
+	if d.cfg.CapacityPages != 0 && d.used >= d.cfg.CapacityPages {
+		return 0, false
+	}
+	d.used++
+	d.stat.Inc(vmstat.PswpOut)
+	return d.cfg.PageOutNs, true
+}
+
+// PageIn services a major fault for a swapped page, returning the fault
+// latency. It panics if the pool is empty — a page-in without a matching
+// page-out is an accounting bug.
+func (d *Device) PageIn() (costNs float64) {
+	if d.used == 0 {
+		panic("swap: PageIn from empty pool")
+	}
+	d.used--
+	d.stat.Inc(vmstat.PswpIn)
+	d.stat.Inc(vmstat.PgmajFault)
+	return d.cfg.PageInNs
+}
+
+// PageOutCost returns the configured page-out cost without performing one
+// (used by reclaim budgeting).
+func (d *Device) PageOutCost() float64 { return d.cfg.PageOutNs }
+
+// String summarizes the device.
+func (d *Device) String() string {
+	k := "zswap"
+	if d.cfg.Kind == KindDisk {
+		k = "disk"
+	}
+	return fmt.Sprintf("swap(%s used=%d)", k, d.used)
+}

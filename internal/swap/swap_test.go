@@ -1,0 +1,95 @@
+package swap
+
+import (
+	"math"
+	"testing"
+
+	"tppsim/internal/vmstat"
+)
+
+func TestDefaults(t *testing.T) {
+	z := New(Config{Kind: KindZswap}, vmstat.New())
+	if z.cfg.PageOutNs != 30_000 || z.cfg.PageInNs != 3_000 || z.cfg.CompressionRatio != 3.0 {
+		t.Fatalf("zswap defaults wrong: %+v", z.cfg)
+	}
+	d := New(Config{Kind: KindDisk}, vmstat.New())
+	if d.cfg.PageOutNs != 120_000 || d.cfg.PageInNs != 25_000 || d.cfg.CompressionRatio != 1.0 {
+		t.Fatalf("disk defaults wrong: %+v", d.cfg)
+	}
+}
+
+func TestPageOutIn(t *testing.T) {
+	st := vmstat.New()
+	d := New(Config{Kind: KindZswap}, st)
+	cost, ok := d.PageOut()
+	if !ok || cost != 30_000 {
+		t.Fatalf("PageOut = %v,%v", cost, ok)
+	}
+	if d.Used() != 1 {
+		t.Fatal("Used wrong after PageOut")
+	}
+	if st.Get(vmstat.PswpOut) != 1 {
+		t.Fatal("pswpout not counted")
+	}
+	inCost := d.PageIn()
+	if inCost != 3_000 || d.Used() != 0 {
+		t.Fatalf("PageIn = %v, used=%d", inCost, d.Used())
+	}
+	if st.Get(vmstat.PswpIn) != 1 || st.Get(vmstat.PgmajFault) != 1 {
+		t.Fatal("page-in counters wrong")
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	d := New(Config{Kind: KindDisk, CapacityPages: 2}, vmstat.New())
+	for i := 0; i < 2; i++ {
+		if _, ok := d.PageOut(); !ok {
+			t.Fatalf("PageOut %d refused below capacity", i)
+		}
+	}
+	if _, ok := d.PageOut(); ok {
+		t.Fatal("PageOut beyond capacity succeeded")
+	}
+}
+
+func TestPageInEmptyPanics(t *testing.T) {
+	d := New(Config{Kind: KindZswap}, vmstat.New())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PageIn from empty pool did not panic")
+		}
+	}()
+	d.PageIn()
+}
+
+func TestCompressionAccounting(t *testing.T) {
+	d := New(Config{Kind: KindZswap, CompressionRatio: 4}, vmstat.New())
+	for i := 0; i < 8; i++ {
+		d.PageOut()
+	}
+	if got := d.StoredBytes(); math.Abs(got-8*4096/4.0) > 1e-9 {
+		t.Fatalf("StoredBytes = %v", got)
+	}
+	// 8 pages out, 2 pages of pool footprint -> 6 pages net saving.
+	if got := d.SavedPages(); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("SavedPages = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	d := New(Config{Kind: KindDisk}, vmstat.New())
+	d.PageOut()
+	if got := d.String(); got != "swap(disk used=1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPageOutCostAccessor(t *testing.T) {
+	d := New(Config{Kind: KindZswap, PageOutNs: 11}, vmstat.New())
+	if d.PageOutCost() != 11 {
+		t.Fatal("PageOutCost wrong")
+	}
+	if d.Kind() != KindZswap {
+		t.Fatal("Kind wrong")
+	}
+}

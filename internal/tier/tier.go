@@ -1,0 +1,231 @@
+// Package tier describes the memory topology of a tiered machine: which
+// nodes exist, their performance traits (load latency, link bandwidth),
+// the inter-node distance matrix, and the demotion-target selection rule
+// (§5.1 of the paper: "the demotion target is chosen based on the node
+// distances from the CPU").
+//
+// The latency constants default to the paper's published figures (Fig. 2,
+// Fig. 5): ~100 ns local DRAM, ~170–250 ns CXL-Memory, ~180 ns remote
+// socket on a dual-socket system.
+package tier
+
+import (
+	"fmt"
+
+	"tppsim/internal/mem"
+)
+
+// Traits are the performance characteristics of one memory node.
+type Traits struct {
+	// LoadLatency is the average loaded CPU-to-memory read latency in
+	// nanoseconds.
+	LoadLatency float64
+	// BandwidthMBps is the node's sustainable migration/link bandwidth in
+	// MB/s (38,400 for a DDR5 channel, 64,000 for a CXL x16 link; Fig. 5).
+	BandwidthMBps float64
+	// HasCPU reports whether the node has CPU cores attached. CXL-Memory
+	// appears to the OS as a CPU-less NUMA node.
+	HasCPU bool
+}
+
+// Standard latency/bandwidth constants from the paper (Figs. 2 and 5).
+const (
+	LocalDRAMLatencyNs  = 100.0
+	RemoteSocketLatency = 180.0
+	CXLLatencyDefaultNs = 220.0 // middle of the 170–250 ns band
+	CXLLatencyMinNs     = 170.0
+	CXLLatencyMaxNs     = 250.0
+
+	DDRChannelBandwidthMBps  = 38400.0
+	CXLx16BandwidthMBps      = 64000.0
+	CrossSocketBandwidthMBps = 32000.0
+)
+
+// Topology is the set of nodes plus their distance matrix and traits.
+type Topology struct {
+	nodes    []*mem.Node
+	traits   []Traits
+	distance [][]int
+}
+
+// New assembles a topology. distance must be square with len(nodes) rows;
+// distance[i][i] must be the minimum of row i.
+func New(nodes []*mem.Node, traits []Traits, distance [][]int) (*Topology, error) {
+	if len(nodes) != len(traits) || len(nodes) != len(distance) {
+		return nil, fmt.Errorf("tier: mismatched sizes: %d nodes, %d traits, %d distance rows",
+			len(nodes), len(traits), len(distance))
+	}
+	for i, row := range distance {
+		if len(row) != len(nodes) {
+			return nil, fmt.Errorf("tier: distance row %d has %d entries", i, len(row))
+		}
+		for j, d := range row {
+			if i != j && d <= row[i] {
+				return nil, fmt.Errorf("tier: distance[%d][%d]=%d not greater than self-distance %d", i, j, d, row[i])
+			}
+		}
+	}
+	for i, n := range nodes {
+		if n.ID != mem.NodeID(i) {
+			return nil, fmt.Errorf("tier: node %d has ID %d; IDs must be dense", i, n.ID)
+		}
+		if traits[i].HasCPU != (n.Kind == mem.KindLocal) {
+			return nil, fmt.Errorf("tier: node %d kind/CPU mismatch", i)
+		}
+	}
+	return &Topology{nodes: nodes, traits: traits, distance: distance}, nil
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id mem.NodeID) *mem.Node { return t.nodes[id] }
+
+// Nodes returns the node list (shared, not a copy).
+func (t *Topology) Nodes() []*mem.Node { return t.nodes }
+
+// Traits returns the traits of the given node.
+func (t *Topology) Traits(id mem.NodeID) Traits { return t.traits[id] }
+
+// SetLatency overrides the load latency of a node; used by the Fig. 16
+// CXL-latency sweep.
+func (t *Topology) SetLatency(id mem.NodeID, ns float64) { t.traits[id].LoadLatency = ns }
+
+// Distance returns the NUMA distance between two nodes.
+func (t *Topology) Distance(a, b mem.NodeID) int { return t.distance[a][b] }
+
+// LocalNodes returns the IDs of CPU-attached nodes in ID order.
+func (t *Topology) LocalNodes() []mem.NodeID {
+	var out []mem.NodeID
+	for i, n := range t.nodes {
+		if n.Kind == mem.KindLocal {
+			out = append(out, mem.NodeID(i))
+		}
+	}
+	return out
+}
+
+// CXLNodes returns the IDs of CPU-less CXL nodes in ID order.
+func (t *Topology) CXLNodes() []mem.NodeID {
+	var out []mem.NodeID
+	for i, n := range t.nodes {
+		if n.Kind == mem.KindCXL {
+			out = append(out, mem.NodeID(i))
+		}
+	}
+	return out
+}
+
+// DemotionTarget returns the CXL node nearest (by distance) to the given
+// local node — the §5.1 static distance-based demotion rule. Returns
+// mem.NilNode when the machine has no CXL node (the all-local baseline).
+func (t *Topology) DemotionTarget(from mem.NodeID) mem.NodeID {
+	best := mem.NilNode
+	bestDist := int(^uint(0) >> 1)
+	for _, id := range t.CXLNodes() {
+		if d := t.distance[from][id]; d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best
+}
+
+// PromotionTarget returns the local node with the most free pages — §5.3:
+// "when applications share multiple memory nodes, we choose the local node
+// with the lowest memory pressure". Returns mem.NilNode when there is no
+// local node.
+func (t *Topology) PromotionTarget() mem.NodeID {
+	best := mem.NilNode
+	var bestFree uint64
+	for _, id := range t.LocalNodes() {
+		if f := t.nodes[id].Free(); best == mem.NilNode || f > bestFree {
+			best, bestFree = id, f
+		}
+	}
+	return best
+}
+
+// FallbackOrder returns all node IDs ordered by distance from the given
+// node (self first) — the allocator's zonelist.
+func (t *Topology) FallbackOrder(from mem.NodeID) []mem.NodeID {
+	out := make([]mem.NodeID, 0, len(t.nodes))
+	for i := range t.nodes {
+		out = append(out, mem.NodeID(i))
+	}
+	// Insertion sort by distance; node counts are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && t.distance[from][out[j]] < t.distance[from][out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TotalCapacity returns the machine's total memory in pages.
+func (t *Topology) TotalCapacity() uint64 {
+	var s uint64
+	for _, n := range t.nodes {
+		s += n.Capacity
+	}
+	return s
+}
+
+// Config describes a machine to build with the standard constructors.
+type Config struct {
+	// LocalPages and CXLPages size the two tiers. CXLPages == 0 builds the
+	// all-local baseline machine.
+	LocalPages uint64
+	CXLPages   uint64
+	// CXLLatencyNs overrides the CXL load latency (0 means the 220 ns
+	// default).
+	CXLLatencyNs float64
+	// DemoteScaleFactor is the /proc/sys/vm/demote_scale_factor analogue
+	// (0 means the 2% default).
+	DemoteScaleFactor float64
+}
+
+// NewCXLSystem builds the paper's target machine: one CPU-attached local
+// node (node 0) and one CPU-less CXL node (node 1), with distances
+// mirroring a local/remote NUMA pair. With cfg.CXLPages == 0 it builds the
+// single-node baseline ("all memory in the local tier").
+func NewCXLSystem(cfg Config) (*Topology, error) {
+	if cfg.LocalPages == 0 {
+		return nil, fmt.Errorf("tier: LocalPages must be positive")
+	}
+	sf := cfg.DemoteScaleFactor
+	if sf == 0 {
+		sf = 0.02
+	}
+	lat := cfg.CXLLatencyNs
+	if lat == 0 {
+		lat = CXLLatencyDefaultNs
+	}
+	local := mem.NewNode(0, mem.KindLocal, cfg.LocalPages, sf)
+	if cfg.CXLPages == 0 {
+		return New(
+			[]*mem.Node{local},
+			[]Traits{{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true}},
+			[][]int{{10}},
+		)
+	}
+	cxl := mem.NewNode(1, mem.KindCXL, cfg.CXLPages, sf)
+	return New(
+		[]*mem.Node{local, cxl},
+		[]Traits{
+			{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true},
+			{LoadLatency: lat, BandwidthMBps: CXLx16BandwidthMBps, HasCPU: false},
+		},
+		[][]int{{10, 20}, {20, 10}},
+	)
+}
+
+// RatioPages splits a total working-set size into (local, cxl) capacities
+// for a local:cxl ratio such as 2:1 or 1:4, with a small slack factor so
+// the machine has the paper's "enough memory to support the workload".
+func RatioPages(totalWorkingSet uint64, localShare, cxlShare uint64, slack float64) (local, cxl uint64) {
+	total := uint64(float64(totalWorkingSet) * (1 + slack))
+	local = total * localShare / (localShare + cxlShare)
+	cxl = total - local
+	return local, cxl
+}

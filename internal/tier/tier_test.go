@@ -1,0 +1,158 @@
+package tier
+
+import (
+	"testing"
+
+	"tppsim/internal/mem"
+)
+
+func mustCXL(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	topo, err := NewCXLSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestNewCXLSystem(t *testing.T) {
+	topo := mustCXL(t, Config{LocalPages: 1000, CXLPages: 500})
+	if topo.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", topo.NumNodes())
+	}
+	if topo.Node(0).Kind != mem.KindLocal || topo.Node(1).Kind != mem.KindCXL {
+		t.Fatal("node kinds wrong")
+	}
+	if !topo.Traits(0).HasCPU || topo.Traits(1).HasCPU {
+		t.Fatal("CPU traits wrong")
+	}
+	if topo.Traits(1).LoadLatency != CXLLatencyDefaultNs {
+		t.Fatalf("default CXL latency = %v", topo.Traits(1).LoadLatency)
+	}
+	if topo.TotalCapacity() != 1500 {
+		t.Fatalf("TotalCapacity = %d", topo.TotalCapacity())
+	}
+}
+
+func TestBaselineSingleNode(t *testing.T) {
+	topo := mustCXL(t, Config{LocalPages: 1000})
+	if topo.NumNodes() != 1 {
+		t.Fatalf("baseline NumNodes = %d", topo.NumNodes())
+	}
+	if topo.DemotionTarget(0) != mem.NilNode {
+		t.Fatal("baseline has a demotion target")
+	}
+	if len(topo.CXLNodes()) != 0 || len(topo.LocalNodes()) != 1 {
+		t.Fatal("node kind lists wrong")
+	}
+}
+
+func TestLatencyOverride(t *testing.T) {
+	topo := mustCXL(t, Config{LocalPages: 10, CXLPages: 10, CXLLatencyNs: 300})
+	if topo.Traits(1).LoadLatency != 300 {
+		t.Fatal("CXLLatencyNs ignored")
+	}
+	topo.SetLatency(1, 250)
+	if topo.Traits(1).LoadLatency != 250 {
+		t.Fatal("SetLatency ignored")
+	}
+}
+
+func TestDemotionAndPromotionTargets(t *testing.T) {
+	topo := mustCXL(t, Config{LocalPages: 100, CXLPages: 50})
+	if got := topo.DemotionTarget(0); got != 1 {
+		t.Fatalf("DemotionTarget = %d", got)
+	}
+	if got := topo.PromotionTarget(); got != 0 {
+		t.Fatalf("PromotionTarget = %d", got)
+	}
+}
+
+func TestPromotionTargetPicksLowestPressure(t *testing.T) {
+	// Hand-build a 3-node machine: two local, one CXL.
+	n0 := mem.NewNode(0, mem.KindLocal, 100, 0.02)
+	n1 := mem.NewNode(1, mem.KindLocal, 100, 0.02)
+	n2 := mem.NewNode(2, mem.KindCXL, 100, 0.02)
+	topo, err := New(
+		[]*mem.Node{n0, n1, n2},
+		[]Traits{
+			{LoadLatency: 100, BandwidthMBps: 38400, HasCPU: true},
+			{LoadLatency: 180, BandwidthMBps: 32000, HasCPU: true},
+			{LoadLatency: 220, BandwidthMBps: 64000, HasCPU: false},
+		},
+		[][]int{{10, 21, 20}, {21, 10, 25}, {20, 25, 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill node0 more than node1.
+	for i := 0; i < 90; i++ {
+		n0.Acquire(mem.Anon)
+	}
+	for i := 0; i < 10; i++ {
+		n1.Acquire(mem.Anon)
+	}
+	if got := topo.PromotionTarget(); got != 1 {
+		t.Fatalf("PromotionTarget = %d, want 1 (less pressure)", got)
+	}
+	// Demotion from node1 picks nearest CXL node (node2 is the only one).
+	if got := topo.DemotionTarget(1); got != 2 {
+		t.Fatalf("DemotionTarget(1) = %d", got)
+	}
+}
+
+func TestFallbackOrder(t *testing.T) {
+	topo := mustCXL(t, Config{LocalPages: 10, CXLPages: 10})
+	order := topo.FallbackOrder(0)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("FallbackOrder(0) = %v", order)
+	}
+	order = topo.FallbackOrder(1)
+	if order[0] != 1 || order[1] != 0 {
+		t.Fatalf("FallbackOrder(1) = %v", order)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	n0 := mem.NewNode(0, mem.KindLocal, 10, 0.02)
+	tr := []Traits{{LoadLatency: 100, HasCPU: true}}
+	if _, err := New([]*mem.Node{n0}, tr, [][]int{{10, 20}}); err == nil {
+		t.Fatal("bad distance row accepted")
+	}
+	if _, err := New([]*mem.Node{n0}, nil, [][]int{{10}}); err == nil {
+		t.Fatal("mismatched traits accepted")
+	}
+	// Self-distance must be row minimum.
+	n1 := mem.NewNode(1, mem.KindCXL, 10, 0.02)
+	tr2 := []Traits{{LoadLatency: 100, HasCPU: true}, {LoadLatency: 220, HasCPU: false}}
+	if _, err := New([]*mem.Node{n0, n1}, tr2, [][]int{{10, 5}, {20, 10}}); err == nil {
+		t.Fatal("distance below self-distance accepted")
+	}
+	// Kind/CPU mismatch.
+	bad := []Traits{{LoadLatency: 100, HasCPU: false}, {LoadLatency: 220, HasCPU: false}}
+	if _, err := New([]*mem.Node{n0, n1}, bad, [][]int{{10, 20}, {20, 10}}); err == nil {
+		t.Fatal("kind/CPU mismatch accepted")
+	}
+}
+
+func TestRatioPages(t *testing.T) {
+	local, cxl := RatioPages(3000, 2, 1, 0)
+	if local != 2000 || cxl != 1000 {
+		t.Fatalf("2:1 split = %d:%d", local, cxl)
+	}
+	local, cxl = RatioPages(5000, 1, 4, 0)
+	if local != 1000 || cxl != 4000 {
+		t.Fatalf("1:4 split = %d:%d", local, cxl)
+	}
+	// Slack grows the total.
+	local, cxl = RatioPages(1000, 1, 1, 0.1)
+	if local+cxl != 1100 {
+		t.Fatalf("slack total = %d", local+cxl)
+	}
+}
+
+func TestZeroLocalRejected(t *testing.T) {
+	if _, err := NewCXLSystem(Config{}); err == nil {
+		t.Fatal("zero local pages accepted")
+	}
+}

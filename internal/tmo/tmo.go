@@ -1,0 +1,173 @@
+// Package tmo implements the TMO baseline (Weiner et al., "TMO:
+// Transparent Memory Offloading in Datacenters", ASPLOS 2022) to the
+// extent the TPP paper engages with it (§4, §6.3.2): a user-space
+// controller that watches PSI-style memory pressure-stall information and
+// keeps pushing cold memory into a (z)swap pool while the application's
+// measured stall stays under a target.
+//
+// The TPP paper's two composition results both flow through this package:
+//
+//   - "TMO enhances TPP": the saved memory gives migrations headroom, so
+//     TPP's migration-failure rate drops (Table 3).
+//   - "TPP enhances TMO": with TPP underneath, reclaim becomes a
+//     two-stage demote-then-swap pipeline — TMO's victims come from the
+//     CXL node's LRU tail, where drift has already filtered semi-hot
+//     pages, so fewer swapped pages refault, stall falls, and the
+//     controller sustains more offload (Table 4).
+package tmo
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/reclaim"
+	"tppsim/internal/swap"
+	"tppsim/internal/tier"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// TargetStall is the PSI "some" memory-stall fraction the controller
+	// steers to (stall time / wall time). Default 0.001 (0.1%, the TMO
+	// paper's operating point).
+	TargetStall float64
+	// EpochTicks is the control period. Default 20 (2 s simulated).
+	EpochTicks uint64
+	// InitialRate and MaxRate bound the offload rate in pages per epoch.
+	// Defaults 16 and 4096.
+	InitialRate int
+	MaxRate     int
+	// TwoStage selects TPP composition: reclaim victims are taken from
+	// the *CXL* node's inactive tail (pages demote first, swap second).
+	// Without it, TMO swaps straight from the local node.
+	TwoStage bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetStall == 0 {
+		c.TargetStall = 0.001
+	}
+	if c.EpochTicks == 0 {
+		c.EpochTicks = 20
+	}
+	if c.InitialRate == 0 {
+		c.InitialRate = 16
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = 4096
+	}
+	return c
+}
+
+// Controller is the TMO userspace agent.
+type Controller struct {
+	cfg    Config
+	topo   *tier.Topology
+	daemon *reclaim.Daemon
+	swapd  *swap.Device
+
+	rate       int
+	sinceEpoch uint64
+
+	// PSI accounting for the current epoch.
+	stallNs float64
+	wallNs  float64
+	// Smoothed stall fraction (exponentially weighted, like PSI's avg10).
+	avgStall float64
+	haveAvg  bool
+}
+
+// New wires a controller. daemon must have a swap device configured.
+func New(cfg Config, topo *tier.Topology, daemon *reclaim.Daemon, swapd *swap.Device) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{cfg: cfg, topo: topo, daemon: daemon, swapd: swapd, rate: cfg.InitialRate}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Rate returns the current offload rate in pages per epoch.
+func (c *Controller) Rate() int { return c.rate }
+
+// AvgStall returns the smoothed stall fraction the controller last acted
+// on; Table 4 reports it normalized to the target.
+func (c *Controller) AvgStall() float64 { return c.avgStall }
+
+// SavedPages returns the controller's net memory saving (the zswap
+// pool's accounting).
+func (c *Controller) SavedPages() float64 { return c.swapd.SavedPages() }
+
+// ObserveStall feeds one tick of PSI input: how much of the tick's wall
+// time the workload spent stalled on memory (major faults + direct
+// reclaim).
+func (c *Controller) ObserveStall(stallNs, wallNs float64) {
+	c.stallNs += stallNs
+	c.wallNs += wallNs
+}
+
+// Tick advances the control loop; on epoch boundaries it adjusts the rate
+// and performs the offload pass. Returns background CPU ns.
+func (c *Controller) Tick() float64 {
+	c.sinceEpoch++
+	if c.sinceEpoch < c.cfg.EpochTicks {
+		return 0
+	}
+	c.sinceEpoch = 0
+
+	// Compute and smooth this epoch's stall fraction.
+	frac := 0.0
+	if c.wallNs > 0 {
+		frac = c.stallNs / c.wallNs
+	}
+	c.stallNs, c.wallNs = 0, 0
+	if !c.haveAvg {
+		c.avgStall, c.haveAvg = frac, true
+	} else {
+		c.avgStall = 0.7*c.avgStall + 0.3*frac
+	}
+
+	// TMO's additive-increase / multiplicative-decrease rate control.
+	if c.avgStall < c.cfg.TargetStall {
+		c.rate += c.cfg.InitialRate
+		if c.rate > c.cfg.MaxRate {
+			c.rate = c.cfg.MaxRate
+		}
+	} else {
+		c.rate /= 2
+		if c.rate < 1 {
+			c.rate = 1
+		}
+	}
+
+	// Offload pass: pick victims per composition mode.
+	spent := 0.0
+	remaining := c.rate
+	if c.cfg.TwoStage {
+		// TPP underneath: swap only from CXL tails; local-node cold pages
+		// reach the pool via demotion first (the two-stage pipeline).
+		for _, id := range c.topo.CXLNodes() {
+			n, cost := c.daemon.SwapOutColdest(id, remaining)
+			spent += cost
+			remaining -= n
+			if remaining <= 0 {
+				break
+			}
+		}
+	} else {
+		for _, id := range c.topo.LocalNodes() {
+			n, cost := c.daemon.SwapOutColdest(id, remaining)
+			spent += cost
+			remaining -= n
+			if remaining <= 0 {
+				break
+			}
+		}
+	}
+	return spent
+}
+
+// NodeScope returns which nodes this controller reclaims from, for tests.
+func (c *Controller) NodeScope() []mem.NodeID {
+	if c.cfg.TwoStage {
+		return c.topo.CXLNodes()
+	}
+	return c.topo.LocalNodes()
+}

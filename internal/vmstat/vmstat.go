@@ -1,0 +1,158 @@
+// Package vmstat implements the /proc/vmstat-style observability counters
+// that TPP introduces (§5.5 of the paper): demotion and promotion event
+// counts broken down by page type, promotion-failure reasons, NUMA hint
+// fault counts, and the PG_demoted ping-pong tracker.
+//
+// Counters are plain uint64s behind a registry; the simulator is
+// single-goroutine per machine, so no atomics are needed. Snapshots are
+// cheap copies used by experiments to diff event rates over intervals.
+package vmstat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter names every event the simulator tracks. The names follow the
+// kernel's vmstat vocabulary where one exists (pgdemote_*, pgpromote_*,
+// numa_hint_faults) and extend it for simulator-specific events.
+const (
+	// Demotion path (§5.1, §5.5).
+	PgdemoteKswapd  = "pgdemote_kswapd"   // pages demoted by background reclaim
+	PgdemoteDirect  = "pgdemote_direct"   // pages demoted in direct reclaim
+	PgdemoteAnon    = "pgdemote_anon"     // demoted pages that were anon
+	PgdemoteFile    = "pgdemote_file"     // demoted pages that were file-backed
+	PgdemoteFail    = "pgdemote_fail"     // demotion migrations that failed
+	PgdemoteFallbck = "pgdemote_fallback" // failed demotions that fell back to swap/drop
+
+	// Promotion path (§5.3, §5.5).
+	PgpromoteSampled   = "pgpromote_sampled"   // hint-faulted pages considered
+	PgpromoteCandidate = "pgpromote_candidate" // pages that passed the promotion filter
+	PgpromoteSuccess   = "pgpromote_success"   // pages actually migrated up
+	PgpromoteAnon      = "pgpromote_anon"      // promoted pages that were anon
+	PgpromoteFile      = "pgpromote_file"      // promoted pages that were file-backed
+	PgpromoteDemoted   = "pgpromote_demoted"   // promoted pages with PG_demoted set (ping-pong)
+
+	// Promotion failure reasons (§5.5 "counters for each of the promotion
+	// failure scenario").
+	PromoteFailLowMem  = "promote_fail_low_memory"    // local node below min watermark
+	PromoteFailRefs    = "promote_fail_page_refs"     // abnormal page references
+	PromoteFailGlobal  = "promote_fail_system_memory" // system-wide low memory
+	PromoteFailIsolate = "promote_fail_isolate"       // could not isolate from LRU
+
+	// NUMA Balancing (§5.3).
+	NumaHintFaults      = "numa_hint_faults"
+	NumaHintFaultsLocal = "numa_hint_faults_local"
+	NumaPagesScanned    = "numa_pages_scanned"
+
+	// Reclaim and swap.
+	PgscanKswapd   = "pgscan_kswapd"
+	PgscanDirect   = "pgscan_direct"
+	PgstealKswapd  = "pgsteal_kswapd"
+	PgstealDirect  = "pgsteal_direct"
+	PgactivateCt   = "pgactivate"
+	PgdeactivateCt = "pgdeactivate"
+	PswpOut        = "pswpout"
+	PswpIn         = "pswpin"
+	PgmajFault     = "pgmajfault"
+	PgRotated      = "pgrotated" // referenced pages given a second chance
+
+	// Allocation.
+	PgallocLocal = "pgalloc_local"
+	PgallocCXL   = "pgalloc_cxl"
+	PgallocStall = "allocstall" // direct-reclaim stalls on the alloc path
+	PgfreeCt     = "pgfree"
+
+	// Migration engine.
+	PgmigrateSuccess = "pgmigrate_success"
+	PgmigrateFail    = "pgmigrate_fail"
+)
+
+// Stat is a mutable counter registry.
+type Stat struct {
+	counts map[string]uint64
+}
+
+// New returns an empty registry.
+func New() *Stat {
+	return &Stat{counts: make(map[string]uint64, 64)}
+}
+
+// Inc adds 1 to the named counter.
+func (s *Stat) Inc(name string) { s.counts[name]++ }
+
+// Add adds delta to the named counter.
+func (s *Stat) Add(name string, delta uint64) { s.counts[name] += delta }
+
+// Get returns the current value of the named counter (0 if never touched).
+func (s *Stat) Get(name string) uint64 { return s.counts[name] }
+
+// Snapshot returns an immutable copy of all counters.
+func (s *Stat) Snapshot() Snapshot {
+	out := make(Snapshot, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (s *Stat) Reset() {
+	for k := range s.counts {
+		delete(s.counts, k)
+	}
+}
+
+// Snapshot is a point-in-time copy of the registry.
+type Snapshot map[string]uint64
+
+// Get returns the value of the named counter (0 if absent).
+func (sn Snapshot) Get(name string) uint64 { return sn[name] }
+
+// Delta returns sn - prev per counter. Counters absent from prev are
+// treated as zero; counters that decreased (which should never happen)
+// clamp to zero rather than underflowing.
+func (sn Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(sn))
+	for k, v := range sn {
+		p := prev[k]
+		if v >= p {
+			out[k] = v - p
+		}
+	}
+	return out
+}
+
+// String renders the snapshot in /proc/vmstat style: "name value" lines,
+// sorted by name, only non-zero counters.
+func (sn Snapshot) String() string {
+	keys := make([]string, 0, len(sn))
+	for k, v := range sn {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, sn[k])
+	}
+	return b.String()
+}
+
+// Equal reports whether two snapshots hold identical non-zero counters.
+// Used by determinism tests.
+func (sn Snapshot) Equal(other Snapshot) bool {
+	for k, v := range sn {
+		if v != 0 && other[k] != v {
+			return false
+		}
+	}
+	for k, v := range other {
+		if v != 0 && sn[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package vmstat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncAndGet(t *testing.T) {
+	s := New()
+	if s.Get(PgpromoteSuccess) != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	s.Inc(PgpromoteSuccess)
+	s.Inc(PgpromoteSuccess)
+	if got := s.Get(PgpromoteSuccess); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	s := New()
+	s.Add(PgdemoteKswapd, 100)
+	s.Add(PgdemoteKswapd, 23)
+	if got := s.Get(PgdemoteKswapd); got != 123 {
+		t.Fatalf("got %d, want 123", got)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New()
+	s.Add(PswpOut, 5)
+	snap := s.Snapshot()
+	s.Add(PswpOut, 5)
+	if snap.Get(PswpOut) != 5 {
+		t.Fatal("snapshot mutated by later Add")
+	}
+	if s.Get(PswpOut) != 10 {
+		t.Fatal("registry lost update")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	s := New()
+	s.Add(NumaHintFaults, 10)
+	before := s.Snapshot()
+	s.Add(NumaHintFaults, 7)
+	s.Add(PgmajFault, 3)
+	d := s.Snapshot().Delta(before)
+	if d.Get(NumaHintFaults) != 7 {
+		t.Fatalf("delta hint faults = %d, want 7", d.Get(NumaHintFaults))
+	}
+	if d.Get(PgmajFault) != 3 {
+		t.Fatalf("delta majfault = %d, want 3", d.Get(PgmajFault))
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.Add(PgallocLocal, 9)
+	s.Reset()
+	if s.Get(PgallocLocal) != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := New()
+	s.Add(PgallocCXL, 2)
+	s.Add(PgallocLocal, 1)
+	out := s.Snapshot().String()
+	if !strings.Contains(out, "pgalloc_cxl 2") || !strings.Contains(out, "pgalloc_local 1") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	// Sorted: cxl before local.
+	if strings.Index(out, "pgalloc_cxl") > strings.Index(out, "pgalloc_local") {
+		t.Fatalf("not sorted:\n%s", out)
+	}
+}
+
+func TestStringOmitsZeros(t *testing.T) {
+	s := New()
+	s.Add(PgallocLocal, 0)
+	if out := s.Snapshot().String(); out != "" {
+		t.Fatalf("zero counters rendered: %q", out)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	a.Add(PswpIn, 4)
+	b.Add(PswpIn, 4)
+	if !a.Snapshot().Equal(b.Snapshot()) {
+		t.Fatal("equal snapshots reported unequal")
+	}
+	b.Inc(PswpIn)
+	if a.Snapshot().Equal(b.Snapshot()) {
+		t.Fatal("unequal snapshots reported equal")
+	}
+}
+
+func TestEqualIgnoresExplicitZeros(t *testing.T) {
+	a, b := New(), New()
+	a.Add(PswpIn, 0) // touched but zero
+	if !a.Snapshot().Equal(b.Snapshot()) {
+		t.Fatal("explicit zero broke equality")
+	}
+}
+
+// Property: for any sequence of Adds, Snapshot().Delta(empty) equals the
+// snapshot itself, and delta of a snapshot with itself is all-zero.
+func TestDeltaProperties(t *testing.T) {
+	f := func(vals []uint8) bool {
+		s := New()
+		names := []string{PgdemoteAnon, PgdemoteFile, PgpromoteAnon}
+		for i, v := range vals {
+			s.Add(names[i%len(names)], uint64(v))
+		}
+		snap := s.Snapshot()
+		if !snap.Delta(Snapshot{}).Equal(snap) {
+			return false
+		}
+		for _, v := range snap.Delta(snap) {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

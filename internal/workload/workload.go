@@ -1,0 +1,364 @@
+// Package workload generates the memory access streams of the paper's
+// production applications (§3.1): HHVM-style web serving (Web1/Web2),
+// distributed caches over tmpfs (Cache1/Cache2), a Data Warehouse compute
+// engine, and Ads ranking. Each generator is a Profile — a set of regions
+// with page types, access weights, intra-region skew, warm-up flooding,
+// growth, and churn — parameterized to match the published
+// characterization:
+//
+//   - page-type mixes and their drift over time (Figs. 8, 9),
+//   - hot fractions at 1/2/5/10-minute windows (Fig. 7),
+//   - anon-hotter-than-file behaviour (Fig. 8),
+//   - re-access recycling vs fresh allocation (Fig. 11),
+//   - short-lived, hot request allocations (§5.2's allocation bursts).
+//
+// Time base: one simulator tick is one simulated second; figures plot
+// simulated minutes.
+package workload
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/xrand"
+)
+
+// TicksPerMinute converts the simulator's 1-second ticks to the figures'
+// minute axis.
+const TicksPerMinute = 60
+
+// Ctx is the machine interface a workload drives. The simulator
+// implements it; tests use a fake.
+type Ctx interface {
+	// Mmap reserves a region; pages are faulted in on first Touch.
+	Mmap(pages uint64, t mem.PageType) pagetable.Region
+	// Munmap releases a region and frees its pages.
+	Munmap(r pagetable.Region)
+	// Touch performs one memory access at v (demand-faulting if needed).
+	Touch(v pagetable.VPN)
+	// RNG returns the workload's private random stream.
+	RNG() *xrand.RNG
+}
+
+// Workload is the interface the simulator runs.
+type Workload interface {
+	// Name is the display name ("Web1", ...).
+	Name() string
+	// Model returns the throughput-model calibration for this workload.
+	Model() metrics.ThroughputModel
+	// TotalPages is the working-set size.
+	TotalPages() uint64
+	// WarmupTicks is the length of the initialization phase.
+	WarmupTicks() uint64
+	// Start performs setup (mmaps) at tick zero.
+	Start(ctx Ctx)
+	// Tick runs once per simulated second: warm-up flooding, growth,
+	// churn, bursts.
+	Tick(ctx Ctx, tick uint64)
+	// NextAccess draws one memory access from the current distribution.
+	// ok is false when the workload has nothing mapped yet.
+	NextAccess(ctx Ctx, tick uint64) (v pagetable.VPN, ok bool)
+}
+
+// RegionSpec declares one region of a Profile.
+type RegionSpec struct {
+	// Name for debugging and per-region stats.
+	Name string
+	// Type is the page type of every page in the region.
+	Type mem.PageType
+	// Pages is the region size.
+	Pages uint64
+	// Weight is the steady-state probability weight of accesses landing
+	// in this region.
+	Weight float64
+	// WarmupWeight overrides Weight during the warm-up phase (zero means
+	// "use Weight").
+	WarmupWeight float64
+	// ZipfS is the intra-region popularity skew (0 = uniform). Higher
+	// skew means a smaller fraction of the region is hot.
+	ZipfS float64
+	// HotFraction/HotWeight, when HotFraction > 0, select two-tier
+	// popularity instead of Zipf: a HotFraction share of the region's
+	// pages absorbs HotWeight of its accesses, the rest spread uniformly.
+	// This matches the paper's characterization structure (Fig. 7:
+	// distinct hot bands over a large cold mass) and is what makes
+	// hot-set placement converge instead of thrashing on a heavy
+	// Zipf middle.
+	HotFraction float64
+	HotWeight   float64
+	// DirtyProb is the probability a page is dirty when faulted in
+	// (dirty file pages force writeback on default reclaim).
+	DirtyProb float64
+	// PrefaultPerTick, during warm-up, sequentially touches this many
+	// pages per tick (the Web file-I/O flood of §6.1.1).
+	PrefaultPerTick uint64
+	// GrowthPerTick caps how fast the accessed prefix of the region
+	// expands after warm-up (0 = entire region immediately accessible).
+	// Models Web1's slow anon growth (Fig. 9a).
+	GrowthPerTick float64
+	// ChurnSegments > 0 makes this a churn region: it is maintained as a
+	// ring of that many independently-mmapped segments, and every
+	// ChurnTicks the oldest segment is freed and a fresh one allocated
+	// and touched (short-lived request memory, §5.2).
+	ChurnSegments int
+	// ChurnTicks is the per-segment recycle period.
+	ChurnTicks uint64
+	// BurstProb/BurstMul: each tick with probability BurstProb the churn
+	// allocation is amplified BurstMul-fold (allocation bursts).
+	BurstProb float64
+	BurstMul  int
+	// RecencyBias, for churn regions, weights access toward newer
+	// segments (0 = uniform over segments; 1 = strongly newest-first).
+	RecencyBias float64
+}
+
+// Profile is the generic region-based workload implementation.
+type Profile struct {
+	PName  string
+	TM     metrics.ThroughputModel
+	Warmup uint64
+	Specs  []RegionSpec
+	// WSS, when non-zero, overrides TotalPages for machine sizing. Web
+	// workloads set region sums *above* WSS: the page cache greedily
+	// consumes free memory (the §6.1.1 init flood "fills up the local
+	// node"), and reclaim is expected to push it back out.
+	WSS          uint64
+	regions      []*regionState
+	picker       *xrand.Weighted
+	warmupPicker *xrand.Weighted
+}
+
+type regionState struct {
+	spec    RegionSpec
+	zipf    *xrand.Zipf
+	grown   uint64           // accessible prefix (pages)
+	region  pagetable.Region // static regions
+	growAcc float64          // fractional-growth accumulator
+	// Churn state: ring of segments, newest last.
+	segments       []pagetable.Region
+	segPages       uint64
+	churnTick      uint64
+	prefaultCursor uint64
+}
+
+var _ Workload = (*Profile)(nil)
+
+// Name implements Workload.
+func (p *Profile) Name() string { return p.PName }
+
+// Model implements Workload.
+func (p *Profile) Model() metrics.ThroughputModel { return p.TM }
+
+// WarmupTicks implements Workload.
+func (p *Profile) WarmupTicks() uint64 { return p.Warmup }
+
+// TotalPages implements Workload. It returns the sizing working set: the
+// WSS override when set, otherwise the sum of region sizes.
+func (p *Profile) TotalPages() uint64 {
+	if p.WSS != 0 {
+		return p.WSS
+	}
+	var s uint64
+	for _, r := range p.Specs {
+		s += r.Pages
+	}
+	return s
+}
+
+// Start implements Workload: mmap every region and initialize samplers.
+func (p *Profile) Start(ctx Ctx) {
+	rng := ctx.RNG()
+	p.regions = p.regions[:0]
+	steady := make([]float64, len(p.Specs))
+	warm := make([]float64, len(p.Specs))
+	for i, spec := range p.Specs {
+		rs := &regionState{spec: spec}
+		if spec.ZipfS > 0 {
+			// Zipf over a bounded rank space to keep setup cheap; ranks
+			// map onto the grown prefix by modulo.
+			n := int(spec.Pages)
+			if n > 1<<16 {
+				n = 1 << 16
+			}
+			rs.zipf = xrand.NewZipf(rng.Split(), n, spec.ZipfS)
+		}
+		if spec.ChurnSegments > 0 {
+			rs.segPages = spec.Pages / uint64(spec.ChurnSegments)
+			if rs.segPages == 0 {
+				rs.segPages = 1
+			}
+			for s := 0; s < spec.ChurnSegments; s++ {
+				rs.segments = append(rs.segments, ctx.Mmap(rs.segPages, spec.Type))
+			}
+			rs.grown = spec.Pages
+		} else {
+			rs.region = ctx.Mmap(spec.Pages, spec.Type)
+			if spec.GrowthPerTick > 0 || spec.PrefaultPerTick > 0 {
+				rs.grown = 0
+			} else {
+				rs.grown = spec.Pages
+			}
+		}
+		p.regions = append(p.regions, rs)
+		steady[i] = spec.Weight
+		warm[i] = spec.WarmupWeight
+		if warm[i] == 0 {
+			warm[i] = spec.Weight
+		}
+	}
+	p.picker = xrand.NewWeighted(rng.Split(), steady)
+	p.warmupPicker = xrand.NewWeighted(rng.Split(), warm)
+}
+
+// Tick implements Workload: warm-up flooding, growth, and churn.
+func (p *Profile) Tick(ctx Ctx, tick uint64) {
+	rng := ctx.RNG()
+	for _, rs := range p.regions {
+		spec := rs.spec
+		// Warm-up flood: sequentially touch (and thereby fault) pages.
+		if tick < p.Warmup && spec.PrefaultPerTick > 0 && rs.prefaultCursor < spec.Pages {
+			end := rs.prefaultCursor + spec.PrefaultPerTick
+			if end > spec.Pages {
+				end = spec.Pages
+			}
+			for v := rs.prefaultCursor; v < end; v++ {
+				ctx.Touch(rs.region.Start + pagetable.VPN(v))
+			}
+			rs.prefaultCursor = end
+			if rs.grown < end {
+				rs.grown = end
+			}
+		}
+		// Post-warm-up growth of the accessible prefix. Fractional rates
+		// accumulate so slow growth (a fraction of a page per tick) still
+		// progresses.
+		if spec.GrowthPerTick > 0 && tick >= p.Warmup && rs.grown < spec.Pages {
+			rs.growAcc += spec.GrowthPerTick
+			if whole := uint64(rs.growAcc); whole > 0 {
+				rs.growAcc -= float64(whole)
+				rs.grown += whole
+				if rs.grown > spec.Pages {
+					rs.grown = spec.Pages
+				}
+			}
+		}
+		// Churn: recycle the oldest segment on period (with bursts).
+		// Request churn is a steady-state behaviour: it starts once the
+		// service is warm (requests arrive after initialization).
+		if spec.ChurnSegments > 0 && spec.ChurnTicks > 0 && tick >= p.Warmup {
+			rs.churnTick++
+			n := 0
+			if rs.churnTick >= spec.ChurnTicks {
+				rs.churnTick = 0
+				n = 1
+				if spec.BurstProb > 0 && rng.Bool(spec.BurstProb) {
+					n = spec.BurstMul
+				}
+				if n > len(rs.segments)-1 {
+					n = len(rs.segments) - 1
+				}
+			}
+			for i := 0; i < n; i++ {
+				old := rs.segments[0]
+				copy(rs.segments, rs.segments[1:])
+				rs.segments = rs.segments[:len(rs.segments)-1]
+				ctx.Munmap(old)
+				fresh := ctx.Mmap(rs.segPages, spec.Type)
+				rs.segments = append(rs.segments, fresh)
+				// Newly allocated request memory is written immediately:
+				// the §5.2 allocation burst.
+				for v := uint64(0); v < rs.segPages; v++ {
+					ctx.Touch(fresh.Start + pagetable.VPN(v))
+				}
+			}
+		}
+	}
+}
+
+// NextAccess implements Workload.
+func (p *Profile) NextAccess(ctx Ctx, tick uint64) (pagetable.VPN, bool) {
+	rng := ctx.RNG()
+	picker := p.picker
+	if tick < p.Warmup {
+		picker = p.warmupPicker
+	}
+	// A few rejection rounds in case the chosen region has nothing
+	// accessible yet (pre-growth).
+	warm := tick < p.Warmup
+	for attempt := 0; attempt < 4; attempt++ {
+		rs := p.regions[picker.Next()]
+		if rs.spec.ChurnSegments > 0 {
+			return rs.churnAccess(rng), true
+		}
+		if rs.grown == 0 {
+			continue
+		}
+		var off uint64
+		if warm {
+			// During warm-up the hot set has not emerged yet: loads and
+			// inserts touch the populated prefix uniformly in insertion
+			// order. Steady-state hotness (a scattered permutation) is
+			// deliberately uncorrelated with this order, so the hot set
+			// ends up spread across whichever nodes the warm-up filled —
+			// as in production, where object popularity has nothing to do
+			// with insertion order.
+			off = rng.Uint64n(rs.grown)
+		} else {
+			off = rs.offset(rng)
+		}
+		return rs.region.Start + pagetable.VPN(off), true
+	}
+	return 0, false
+}
+
+// scatterPrime is coprime to every region size below it, so
+// (idx * scatterPrime) % Pages permutes page indices: popularity rank is
+// decoupled from allocation order. Page hotness in real applications is
+// uncorrelated with fault order, so the hot set must not cluster at the
+// region's start (which would let a full local node keep the hot set by
+// accident of allocation order).
+const scatterPrime = 1000000007
+
+// offset draws a page offset within the region, honouring skew. The
+// footprint is bounded by the grown counter; rank→page mapping is a fixed
+// permutation over the whole region so the hot set is stable as the
+// region grows.
+func (rs *regionState) offset(rng *xrand.RNG) uint64 {
+	var idx uint64
+	switch {
+	case rs.spec.HotFraction > 0:
+		hot := uint64(rs.spec.HotFraction * float64(rs.grown))
+		if hot < 1 {
+			hot = 1
+		}
+		if rng.Bool(rs.spec.HotWeight) || hot >= rs.grown {
+			idx = rng.Uint64n(hot)
+		} else {
+			idx = hot + rng.Uint64n(rs.grown-hot)
+		}
+	case rs.zipf != nil:
+		idx = uint64(rs.zipf.Next()) % rs.grown
+	default:
+		idx = rng.Uint64n(rs.grown)
+	}
+	return (idx * scatterPrime) % rs.spec.Pages
+}
+
+// churnAccess picks a segment with recency bias, then a page uniformly.
+func (rs *regionState) churnAccess(rng *xrand.RNG) pagetable.VPN {
+	n := len(rs.segments)
+	var idx int
+	if rs.spec.RecencyBias <= 0 {
+		idx = rng.Intn(n)
+	} else {
+		// Geometric walk from the newest end: each step stops with
+		// probability RecencyBias, so higher bias concentrates accesses
+		// on recently allocated segments.
+		idx = n - 1
+		for idx > 0 && !rng.Bool(rs.spec.RecencyBias) {
+			idx--
+		}
+	}
+	seg := rs.segments[idx]
+	return seg.Start + pagetable.VPN(rng.Uint64n(rs.segPages))
+}

@@ -1,0 +1,131 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. It precomputes the CDF so sampling is O(log n); this trades
+// memory for speed and determinism, which suits the simulator's fixed-size
+// hot sets.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s >= 0.
+// s == 0 degenerates to the uniform distribution.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	z := &Zipf{cdf: make([]float64, n), rng: rng}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sample in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Weighted samples an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights may be updated between draws via
+// SetWeight; the CDF is rebuilt lazily.
+type Weighted struct {
+	weights []float64
+	cdf     []float64
+	dirty   bool
+	rng     *RNG
+}
+
+// NewWeighted returns a sampler over the given weights. Negative weights
+// are treated as zero. At least one weight must be positive at sampling
+// time.
+func NewWeighted(rng *RNG, weights []float64) *Weighted {
+	w := &Weighted{weights: append([]float64(nil), weights...), rng: rng, dirty: true}
+	return w
+}
+
+// SetWeight updates weights[i].
+func (w *Weighted) SetWeight(i int, v float64) {
+	w.weights[i] = v
+	w.dirty = true
+}
+
+// Weight returns weights[i].
+func (w *Weighted) Weight(i int) float64 { return w.weights[i] }
+
+// Len returns the number of weights.
+func (w *Weighted) Len() int { return len(w.weights) }
+
+func (w *Weighted) rebuild() {
+	if cap(w.cdf) < len(w.weights) {
+		w.cdf = make([]float64, len(w.weights))
+	}
+	w.cdf = w.cdf[:len(w.weights)]
+	sum := 0.0
+	for i, v := range w.weights {
+		if v > 0 {
+			sum += v
+		}
+		w.cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("xrand: Weighted with no positive weights")
+	}
+	inv := 1 / sum
+	for i := range w.cdf {
+		w.cdf[i] *= inv
+	}
+	w.cdf[len(w.cdf)-1] = 1
+	w.dirty = false
+}
+
+// Next returns the next weighted sample.
+func (w *Weighted) Next() int {
+	if w.dirty {
+		w.rebuild()
+	}
+	u := w.rng.Float64()
+	return sort.SearchFloat64s(w.cdf, u)
+}
+
+// Pareto samples from a bounded Pareto distribution on [lo, hi] with shape
+// alpha. Used for object-size and lifetime draws in the workload
+// generators.
+type Pareto struct {
+	lo, hi, alpha float64
+	rng           *RNG
+}
+
+// NewPareto returns a bounded Pareto sampler. Requires 0 < lo < hi and
+// alpha > 0.
+func NewPareto(rng *RNG, lo, hi, alpha float64) *Pareto {
+	if !(lo > 0 && hi > lo && alpha > 0) {
+		panic("xrand: invalid Pareto parameters")
+	}
+	return &Pareto{lo: lo, hi: hi, alpha: alpha, rng: rng}
+}
+
+// Next returns the next sample in [lo, hi].
+func (p *Pareto) Next() float64 {
+	u := p.rng.Float64()
+	la := math.Pow(p.lo, p.alpha)
+	ha := math.Pow(p.hi, p.alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.alpha)
+}

@@ -1,0 +1,332 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded RNG produced duplicates: %d unique of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first draw")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(9)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const draws = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / draws
+	stddev := math.Sqrt(sumsq/draws - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(stddev-2) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~2", stddev)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.Exp(0.5)
+	}
+	if mean := sum / draws; math.Abs(mean-2) > 0.05 {
+		t.Errorf("Exp(0.5) mean = %v, want ~2", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for n := 0; n < 50; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(23)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed elements: %v", s)
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary positive n.
+func TestUint64nBoundProperty(t *testing.T) {
+	r := New(29)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mul64 matches big-integer multiplication on the low bits and
+// is consistent with shifting.
+func TestMul64Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		if lo != a*b {
+			return false
+		}
+		// Verify hi via per-word decomposition.
+		const mask = 1<<32 - 1
+		a0, a1 := a&mask, a>>32
+		b0, b1 := b&mask, b>>32
+		carry := (a0*b0)>>32 + (a1*b0)&mask + (a0*b1)&mask
+		wantHi := a1*b1 + (a1*b0)>>32 + (a0*b1)>>32 + carry>>32
+		return hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 1000, 1.0)
+	const draws = 100000
+	counts := make([]int, 1000)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should dominate rank 99 by roughly 100x under s=1.
+	if counts[0] < counts[99]*20 {
+		t.Errorf("Zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 10, 0)
+	const draws = 100000
+	counts := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.05 {
+			t.Errorf("bucket %d = %d, want ~%d", i, c, draws/10)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 7, 1.2)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 7 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestWeightedRespectsWeights(t *testing.T) {
+	r := New(43)
+	w := NewWeighted(r, []float64{1, 0, 3})
+	const draws = 100000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[w.Next()]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedSetWeight(t *testing.T) {
+	r := New(47)
+	w := NewWeighted(r, []float64{1, 1})
+	w.SetWeight(0, 0)
+	for i := 0; i < 1000; i++ {
+		if w.Next() != 1 {
+			t.Fatal("SetWeight(0,0) ignored")
+		}
+	}
+	if w.Weight(1) != 1 || w.Len() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(53)
+	p := NewPareto(r, 1, 100, 1.5)
+	for i := 0; i < 10000; i++ {
+		v := p.Next()
+		if v < 1 || v > 100 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestParetoSkewsLow(t *testing.T) {
+	r := New(59)
+	p := NewPareto(r, 1, 1000, 1.2)
+	low := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		if p.Next() < 10 {
+			low++
+		}
+	}
+	if float64(low)/draws < 0.8 {
+		t.Errorf("Pareto(1.2) mass below 10 = %v, want > 0.8", float64(low)/draws)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1<<16, 0.99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

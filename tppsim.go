@@ -1,0 +1,95 @@
+// Package tppsim is a simulation-based reproduction of "TPP: Transparent
+// Page Placement for CXL-Enabled Tiered-Memory" (Maruf et al., ASPLOS
+// 2023). It models a CXL tiered-memory machine — NUMA nodes with
+// watermarks, per-node LRU lists, a page allocator, kswapd reclaim, page
+// migration, and NUMA-balancing hint faults — and implements TPP and the
+// paper's baselines (default Linux, NUMA Balancing, AutoTiering, TMO) as
+// policies over that machine.
+//
+// Quick start:
+//
+//	wl := tppsim.Workloads["Cache1"](tppsim.DefaultWorkingSet)
+//	m, err := tppsim.NewMachine(tppsim.MachineConfig{
+//		Policy:   tppsim.TPP(),
+//		Workload: wl,
+//		Ratio:    [2]uint64{2, 1}, // local:CXL capacity
+//		Minutes:  30,
+//	})
+//	if err != nil { ... }
+//	res := m.Run()
+//	fmt.Println(res) // normalized throughput, local traffic, latency
+//
+// The exported surface is intentionally thin: policies come from
+// constructors (TPP, DefaultLinux, ...) with ablation Options; workloads
+// come from the Workloads catalog or custom workload.Profile values; the
+// experiments registry (Experiments) regenerates every table and figure
+// of the paper.
+package tppsim
+
+import (
+	"tppsim/internal/core"
+	"tppsim/internal/experiments"
+	"tppsim/internal/metrics"
+	"tppsim/internal/sim"
+	"tppsim/internal/workload"
+)
+
+// DefaultWorkingSet is the default scaled working-set size in 4 KB pages.
+const DefaultWorkingSet = workload.DefaultTotalPages
+
+// MachineConfig configures one simulation run; it is sim.Config.
+type MachineConfig = sim.Config
+
+// Machine is an assembled tiered-memory machine.
+type Machine = sim.Machine
+
+// RunResult carries a run's series and scalar results.
+type RunResult = metrics.Run
+
+// Policy is a placement-policy configuration.
+type Policy = core.Policy
+
+// PolicyOption is an ablation/extension option for TPP.
+type PolicyOption = core.Option
+
+// Workload is the workload interface machines run.
+type Workload = workload.Workload
+
+// Profile is the region-based workload implementation, for building
+// custom workloads.
+type Profile = workload.Profile
+
+// NewMachine assembles a machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return sim.New(cfg) }
+
+// Policy constructors (see internal/core for details).
+var (
+	// TPP is the paper's mechanism; options select ablations.
+	TPP = core.TPP
+	// DefaultLinux is the stock-kernel baseline.
+	DefaultLinux = core.DefaultLinux
+	// NUMABalancing is classic AutoNUMA.
+	NUMABalancing = core.NUMABalancing
+	// AutoTiering is the ATC '21 baseline.
+	AutoTiering = core.AutoTiering
+	// TMOOnly is transparent memory offloading without TPP.
+	TMOOnly = core.TMOOnly
+
+	// Ablation options for TPP.
+	WithoutDecoupling    = core.WithoutDecoupling
+	WithInstantPromotion = core.WithInstantPromotion
+	WithPageTypeAware    = core.WithPageTypeAware
+	WithTMO              = core.WithTMO
+)
+
+// Workloads is the catalog of the paper's production workloads.
+var Workloads = workload.Catalog
+
+// WorkloadNames returns the catalog keys sorted.
+func WorkloadNames() []string { return workload.Names() }
+
+// Experiments returns the registry of paper tables and figures.
+func Experiments() []experiments.Spec { return experiments.Registry() }
+
+// ExperimentOptions scales experiment runs.
+type ExperimentOptions = experiments.Options

@@ -1,0 +1,126 @@
+package tppsim
+
+import (
+	"strings"
+	"testing"
+
+	"tppsim/internal/experiments"
+)
+
+func TestQuickstartFacade(t *testing.T) {
+	wl := Workloads["Cache1"](8 * 1024)
+	m, err := NewMachine(MachineConfig{
+		Seed:     7,
+		Policy:   TPP(),
+		Workload: wl,
+		Ratio:    [2]uint64{2, 1},
+		Minutes:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Failed {
+		t.Fatalf("run failed: %s", res.FailReason)
+	}
+	if res.NormalizedThroughput <= 0.5 || res.NormalizedThroughput > 1.05 {
+		t.Fatalf("throughput out of range: %v", res.NormalizedThroughput)
+	}
+}
+
+func TestWorkloadCatalogExposed(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 8 {
+		t.Fatalf("WorkloadNames = %v", names)
+	}
+	for _, n := range names {
+		if Workloads[n] == nil {
+			t.Fatalf("catalog missing %s", n)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, s := range Experiments() {
+		ids[s.ID] = true
+		if s.Caption == "" || s.Run == nil {
+			t.Fatalf("experiment %s incomplete", s.ID)
+		}
+	}
+	// Every paper artifact must be present.
+	want := []string{
+		"Fig2", "Fig3", "Fig4", "Fig5", "Fig7", "Fig8", "Fig9", "Fig10", "Fig11",
+		"Table1", "Fig14", "Fig15", "Fig16", "Fig17", "Fig18", "Table2", "Fig19",
+		"Table3", "Table4", "X1", "X2", "X3",
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+}
+
+// TestShapeTable1 asserts the paper's headline orderings at reduced scale:
+// TPP beats Default Linux under pressure and AutoTiering fails at 1:4.
+func TestShapeTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	o := experiments.Options{Pages: 8 * 1024, Minutes: 25}
+	runOne := func(p Policy, wl string, ratio [2]uint64) *RunResult {
+		m, err := NewMachine(MachineConfig{
+			Seed: 1, Policy: p, Workload: Workloads[wl](o.Pages), Ratio: ratio, Minutes: o.Minutes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run()
+	}
+
+	def := runOne(DefaultLinux(), "Web1", [2]uint64{2, 1})
+	tpp := runOne(TPP(), "Web1", [2]uint64{2, 1})
+	if tpp.NormalizedThroughput <= def.NormalizedThroughput {
+		t.Errorf("Web1 2:1: TPP %.3f <= Default %.3f", tpp.NormalizedThroughput, def.NormalizedThroughput)
+	}
+	if tpp.NormalizedThroughput < 0.95 {
+		t.Errorf("Web1 2:1: TPP not near baseline: %.3f", tpp.NormalizedThroughput)
+	}
+
+	at := runOne(AutoTiering(), "Cache1", [2]uint64{1, 4})
+	if !at.Failed {
+		t.Error("Cache1 1:4: AutoTiering did not fail")
+	}
+	at21 := runOne(AutoTiering(), "Cache1", [2]uint64{2, 1})
+	if at21.Failed {
+		t.Error("Cache1 2:1: AutoTiering failed but should run")
+	}
+}
+
+// TestShapeDecoupling asserts Fig. 17's direction: decoupling increases
+// promotion throughput under pressure.
+func TestShapeDecoupling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration shape test")
+	}
+	res := experiments.Fig17(experiments.Options{Pages: 8 * 1024, Minutes: 25})
+	if len(res.Table.Rows) < 4 {
+		t.Fatal("Fig17 incomplete")
+	}
+	if !strings.Contains(res.Table.String(), "promotion rate") {
+		t.Fatal("Fig17 missing promotion rate")
+	}
+}
+
+func TestExperimentStaticsRun(t *testing.T) {
+	for _, id := range []string{"Fig2", "Fig3", "Fig4", "Fig5"} {
+		spec, ok := experiments.Find(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		res := spec.Run(experiments.Options{})
+		if len(res.Table.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
