@@ -1,8 +1,11 @@
 // Command experiments regenerates the paper's tables and figures.
+// Multiple experiments run concurrently on a bounded worker pool; output
+// order is deterministic (registry order) regardless of scheduling.
 //
 //	experiments -list
 //	experiments -run Table1
 //	experiments -run all -pages 16384 -minutes 40
+//	experiments -run all -workers 4
 //	experiments -run Fig14 -csv
 package main
 
@@ -23,6 +26,7 @@ func main() {
 		minutes = flag.Int("minutes", 0, "simulated minutes (default 60)")
 		seed    = flag.Uint64("seed", 0, "random seed (default 1)")
 		csv     = flag.Bool("csv", false, "print figure series as CSV")
+		workers = flag.Int("workers", 0, "worker-pool size (default: all CPUs)")
 	)
 	flag.Parse()
 
@@ -50,8 +54,7 @@ func main() {
 		specs = []experiments.Spec{s}
 	}
 
-	for _, s := range specs {
-		res := s.Run(o)
+	for _, res := range experiments.RunAll(specs, o, *workers) {
 		fmt.Println(res.Table.String())
 		if *csv {
 			for _, name := range sortedSeries(res) {

@@ -8,6 +8,16 @@
 //	tppsim -workload Web1 -policy tpp -ratio 2:1 -minutes 60
 //	tppsim -workload Cache1 -policy default -ratio 1:4 -vmstat
 //	tppsim -workload Cache2 -policy all -ratio 2:1
+//	tppsim -list
+//
+// Record/replay: -record captures the run's access trace to a file
+// (".gz" compresses); -replay re-drives a machine from a trace instead
+// of a catalog workload, so one captured stream can be compared across
+// every policy:
+//
+//	tppsim -workload Web1 -policy default -record web1.trace.gz
+//	tppsim -replay web1.trace.gz -policy all
+//	tppsim -replay web1.trace.gz -policy tpp -minutes 120 -loop
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"tppsim/internal/core"
 	"tppsim/internal/metrics"
 	"tppsim/internal/sim"
+	"tppsim/internal/trace"
 	"tppsim/internal/workload"
 )
 
@@ -32,14 +43,20 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters")
 		series   = flag.Bool("series", false, "dump the local-traffic time series as CSV")
+		list     = flag.Bool("list", false, "list catalog workloads and exit")
+		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
+		replayF  = flag.String("replay", "", "replay a trace FILE instead of running a catalog workload")
+		loop     = flag.Bool("loop", false, "with -replay: loop the trace when the run outlasts it (otherwise the machine idles)")
 	)
 	flag.Parse()
 
-	ctor, ok := workload.Catalog[*wlName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *wlName, strings.Join(workload.Names(), ", "))
-		os.Exit(2)
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
 	}
+
 	var r0, r1 uint64
 	if _, err := fmt.Sscanf(*ratio, "%d:%d", &r0, &r1); err != nil || r0 == 0 {
 		fmt.Fprintf(os.Stderr, "bad -ratio %q (want e.g. 2:1)\n", *ratio)
@@ -51,21 +68,75 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *recordTo != "" && len(policies) > 1 {
+		fmt.Fprintln(os.Stderr, "-record needs a single policy (a trace captures one run)")
+		os.Exit(2)
+	}
+	if *recordTo != "" && *replayF != "" {
+		fmt.Fprintln(os.Stderr, "-record and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *replayF != "" && (set["workload"] || set["pages"]) {
+		fmt.Fprintln(os.Stderr, "-replay drives the machine from the trace; -workload/-pages would be ignored")
+		os.Exit(2)
+	}
+	if *loop && *replayF == "" {
+		fmt.Fprintln(os.Stderr, "-loop only applies with -replay")
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	var ctor func(uint64) workload.Workload
+	if *replayF != "" {
+		if tr, err = trace.Load(*replayF); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		h := tr.Header
+		traceMin := (tr.Ticks() + workload.TicksPerMinute - 1) / workload.TicksPerMinute
+		fmt.Printf("replaying %s: workload=%s pages=%d %d min (%d KB encoded)\n",
+			*replayF, h.Name, h.TotalPages, traceMin, tr.Size()/1024)
+		if !set["minutes"] && uint64(*minutes) > traceMin {
+			// Without an explicit -minutes, replay exactly the trace.
+			*minutes = int(traceMin)
+		} else if uint64(*minutes) > traceMin && !*loop {
+			fmt.Fprintf(os.Stderr, "warning: run (%d min) outlasts the trace (%d min); the machine idles after it ends — use -loop to wrap\n",
+				*minutes, traceMin)
+		}
+	} else {
+		var ok bool
+		if ctor, ok = workload.Catalog[*wlName]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; have %s\n", *wlName, strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	for _, p := range policies {
-		m, err := sim.New(sim.Config{
+		cfg := sim.Config{
 			Seed:     *seed,
 			Policy:   p,
-			Workload: ctor(*pages),
 			Ratio:    [2]uint64{r0, r1},
 			Minutes:  *minutes,
-		})
+			RecordTo: *recordTo,
+		}
+		if tr != nil {
+			cfg.Workload = tr.Replayer(trace.ReplayOptions{Loop: *loop})
+		} else {
+			cfg.Workload = ctor(*pages)
+		}
+		m, err := sim.New(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		res := m.Run()
 		fmt.Println(res.String())
+		if err := m.RecordError(); err != nil {
+			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
+			os.Exit(1)
+		}
 		if *vmstatFl {
 			fmt.Print(indent(m.Stat().Snapshot().String()))
 		}

@@ -1,0 +1,3 @@
+module tppsim
+
+go 1.22

@@ -11,7 +11,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"sync"
 
 	"tppsim/internal/core"
 	"tppsim/internal/metrics"
@@ -89,6 +92,64 @@ func Registry() []Spec {
 		{"X2", "Reclaim speed: migration vs default reclaim (§5.1)", X2},
 		{"X3", "Steady-state migration bandwidth (§7)", X3},
 	}
+}
+
+// RunAll executes specs concurrently on a bounded worker pool and
+// returns their results in spec order, so output is deterministic
+// regardless of completion order. workers <= 0 means runtime.NumCPU.
+// Every simulation is seeded independently of scheduling, so results
+// are identical to a sequential run.
+func RunAll(specs []Spec, o Options, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							// Capture the failing spec and its original
+							// stack; the re-panic below happens on the
+							// caller's goroutine, which would otherwise
+							// lose both.
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = fmt.Sprintf("experiment %s: %v\n%s",
+									specs[i].ID, p, debug.Stack())
+							}
+							mu.Unlock()
+						}
+					}()
+					results[i] = specs[i].Run(o)
+				}()
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstPanic != nil {
+		// Preserve the sequential runner's contract: a failing
+		// experiment panics out of RunAll.
+		panic(firstPanic)
+	}
+	return results
 }
 
 // Find returns the spec with the given ID.

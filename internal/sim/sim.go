@@ -37,6 +37,7 @@ import (
 	"tppsim/internal/swap"
 	"tppsim/internal/tier"
 	"tppsim/internal/tmo"
+	"tppsim/internal/trace"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 	"tppsim/internal/xrand"
@@ -78,6 +79,13 @@ type Config struct {
 	EnableChameleon bool
 	// ChameleonConfig overrides profiler defaults when enabled.
 	ChameleonConfig chameleon.Config
+
+	// RecordTo, when set, captures the workload's full event stream to
+	// the given trace file (gzip-compressed when the path ends in
+	// ".gz") during the run. The trace is finalized when Run completes;
+	// check Machine.RecordError afterwards. Recording is transparent:
+	// the run's results are identical with or without it.
+	RecordTo string
 }
 
 func (c Config) withDefaults() Config {
@@ -120,9 +128,11 @@ type Machine struct {
 	swapd     *swap.Device
 	cham      *chameleon.Chameleon
 
-	wl    workload.Workload
-	rng   *xrand.RNG
-	wlRNG *xrand.RNG
+	wl       workload.Workload
+	recorder *trace.Recorder
+	recErr   error
+	rng      *xrand.RNG
+	wlRNG    *xrand.RNG
 
 	tick     uint64
 	cur      metrics.Tick
@@ -196,6 +206,15 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.EnableChameleon {
 		m.cham = chameleon.New(cfg.ChameleonConfig, m.as, m.store, m.rng.Split())
+	}
+
+	if cfg.RecordTo != "" {
+		w, err := trace.Create(cfg.RecordTo, trace.HeaderFor(cfg.Workload))
+		if err != nil {
+			return nil, err
+		}
+		m.recorder = trace.NewRecorder(cfg.Workload, w)
+		m.wl = m.recorder
 	}
 
 	m.baseLat = topo.Traits(0).LoadLatency
@@ -318,21 +337,12 @@ func (m *Machine) dirtyHook(pfn mem.PFN, r pagetable.Region) {
 	}
 }
 
-// dirtyProbFor finds the workload's DirtyProb for the region, when the
-// workload is a Profile. Other workloads default to clean pages.
+// dirtyProbFor asks the workload for the region's dirty-at-fault
+// probability. Profiles, trace recorders, and trace replayers implement
+// the DirtyModel hook; other workloads default to clean pages.
 func (m *Machine) dirtyProbFor(r pagetable.Region) float64 {
-	p, ok := m.wl.(*workload.Profile)
-	if !ok {
-		return 0
-	}
-	for i := range p.Specs {
-		// Regions are identified by size+type; profiles keep them unique
-		// enough for this purpose (churn segments share spec sizes).
-		spec := &p.Specs[i]
-		if spec.Type == r.Type && (spec.Pages == r.Pages ||
-			(spec.ChurnSegments > 0 && r.Pages == spec.Pages/uint64(spec.ChurnSegments))) {
-			return spec.DirtyProb
-		}
+	if dm, ok := m.wl.(workload.DirtyModel); ok {
+		return dm.DirtyProb(r)
 	}
 	return 0
 }
@@ -456,8 +466,19 @@ func (m *Machine) Run() *metrics.Run {
 	return m.run
 }
 
-// finish computes run-level scalars.
+// finish computes run-level scalars and finalizes any recording.
 func (m *Machine) finish() {
+	if m.recorder != nil {
+		// A recording failure spoils the trace artifact, not the
+		// simulation; it is surfaced via RecordError, not the run.
+		m.recErr = m.recorder.Close()
+		m.recorder = nil
+	}
+	if er, ok := m.wl.(workload.ErrorReporter); ok && !m.failed {
+		if err := er.WorkloadErr(); err != nil {
+			m.fail("workload error: " + err.Error())
+		}
+	}
 	m.run.Failed = m.failed
 	m.run.FailReason = m.failWhy
 	if m.failed {
@@ -498,6 +519,10 @@ func (m *Machine) Tick() uint64 { return m.tick }
 
 // Failed reports whether the run has aborted.
 func (m *Machine) Failed() (bool, string) { return m.failed, m.failWhy }
+
+// RecordError reports whether writing the Config.RecordTo trace failed.
+// Only meaningful after Run has returned.
+func (m *Machine) RecordError() error { return m.recErr }
 
 // Results returns the (possibly in-progress) run metrics.
 func (m *Machine) Results() *metrics.Run { return m.run }

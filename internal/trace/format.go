@@ -1,0 +1,527 @@
+// Package trace is the simulator's access-trace record/replay engine.
+// It captures the full event stream a workload drives into a machine —
+// region creation and teardown, explicit touches, and the sampled access
+// stream — into a compact binary trace that can be stored as an artifact
+// and deterministically re-driven under any placement policy. The design
+// mirrors the tracker/policy split of memory-tiering daemons: trackers
+// (here: a Recorder wrapping a live workload, or a synthetic Generator)
+// emit access streams, and policies consume them via the Replayer, which
+// implements workload.Workload.
+//
+// # Trace format
+//
+// A trace is a header followed by a flat event stream. All integers are
+// unsigned LEB128 varints unless noted; floats are IEEE-754 bits in
+// little-endian order. Files whose content starts with the gzip magic are
+// transparently decompressed on load, and paths ending in ".gz" are
+// compressed on write.
+//
+//	header:
+//	  magic      8 bytes  "TPPTRACE"
+//	  version    varint   currently 1
+//	  name       varint length + UTF-8 bytes (workload display name)
+//	  cpuns      8 bytes  float64 ThroughputModel.CPUServiceNs
+//	  stalls     8 bytes  float64 ThroughputModel.StallsPerOp
+//	  pages      varint   workload TotalPages (machine sizing)
+//	  warmup     varint   workload WarmupTicks
+//
+//	event: 1 opcode byte + operands
+//	  OpMmap     (0x01)  start varint, pages varint, type byte,
+//	                     dirty-prob float64 — region creation
+//	  OpMunmap   (0x02)  start varint, pages varint, type byte
+//	  OpTouch    (0x03)  zigzag varint delta of VPN vs. previous Touch/Access
+//	  OpAccess   (0x04)  same encoding; an access drawn via NextAccess
+//	  OpTickEnd  (0x05)  closes one simulated tick
+//	  OpStartEnd (0x06)  closes the Start (setup) section
+//
+// The stream grammar is: start-section events, OpStartEnd, then per tick
+// any housekeeping events (mmap/munmap/touch), the tick's accesses, and
+// OpTickEnd. Touch/Access VPNs are delta-encoded against the previous
+// Touch/Access VPN, which keeps hot-set streams to ~2 bytes per event.
+// Region start VPNs are strictly increasing over the life of the stream
+// (the recorder's address space never reuses addresses), which the
+// Replayer relies on to translate recorded VPNs into its own regions.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/workload"
+)
+
+// Magic identifies a trace file.
+const Magic = "TPPTRACE"
+
+// Version is the current trace-format version.
+const Version = 1
+
+// Header carries the workload identity a trace was captured from: enough
+// for the Replayer to satisfy the workload.Workload interface and for a
+// machine to be sized identically to the recorded run.
+type Header struct {
+	Version     int
+	Name        string
+	Model       metrics.ThroughputModel
+	TotalPages  uint64
+	WarmupTicks uint64
+}
+
+// HeaderFor builds a Header describing the given workload.
+func HeaderFor(wl workload.Workload) Header {
+	return Header{
+		Version:     Version,
+		Name:        wl.Name(),
+		Model:       wl.Model(),
+		TotalPages:  wl.TotalPages(),
+		WarmupTicks: wl.WarmupTicks(),
+	}
+}
+
+// Op is a trace event opcode.
+type Op uint8
+
+// Trace event opcodes; see the package doc for operand layouts.
+const (
+	OpInvalid Op = iota
+	OpMmap
+	OpMunmap
+	OpTouch
+	OpAccess
+	OpTickEnd
+	OpStartEnd
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpMmap:
+		return "mmap"
+	case OpMunmap:
+		return "munmap"
+	case OpTouch:
+		return "touch"
+	case OpAccess:
+		return "access"
+	case OpTickEnd:
+		return "tickend"
+	case OpStartEnd:
+		return "startend"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Event is one decoded trace record. Fields are populated per opcode:
+// Mmap uses Start/Pages/Type/Dirty, Munmap uses Start/Pages/Type,
+// Touch/Access use VPN, and the tick markers carry no operands.
+type Event struct {
+	Op    Op
+	Start pagetable.VPN // Mmap/Munmap: region start in the recorded space
+	Pages uint64        // Mmap/Munmap: region size
+	Type  mem.PageType  // Mmap/Munmap: page type
+	Dirty float64       // Mmap: dirty-at-fault probability for the region
+	VPN   pagetable.VPN // Touch/Access: the touched virtual page
+}
+
+// Region returns the recorded region of an Mmap/Munmap event.
+func (e Event) Region() pagetable.Region {
+	return pagetable.Region{Start: e.Start, Pages: e.Pages, Type: e.Type}
+}
+
+// encodeHeader renders a header to its binary form. The header's own
+// version is preserved (Save must not relabel old traces); a zero
+// version means a hand-built header and gets the current one.
+func encodeHeader(h Header) []byte {
+	v := h.Version
+	if v == 0 {
+		v = Version
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, Magic...)
+	buf = binary.AppendUvarint(buf, uint64(v))
+	buf = binary.AppendUvarint(buf, uint64(len(h.Name)))
+	buf = append(buf, h.Name...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Model.CPUServiceNs))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Model.StallsPerOp))
+	buf = binary.AppendUvarint(buf, h.TotalPages)
+	buf = binary.AppendUvarint(buf, h.WarmupTicks)
+	return buf
+}
+
+// byteStream is what header/event decoding needs: bufio.Reader and
+// bytes.Reader both satisfy it.
+type byteStream interface {
+	io.Reader
+	io.ByteReader
+}
+
+// readHeader parses and validates a header from the stream.
+func readHeader(r byteStream) (Header, error) {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Header{}, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return Header{}, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var h Header
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Header{}, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if v == 0 || v > Version {
+		return Header{}, fmt.Errorf("trace: unsupported version %d (have %d)", v, Version)
+	}
+	h.Version = int(v)
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Header{}, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return Header{}, fmt.Errorf("trace: absurd name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return Header{}, fmt.Errorf("trace: reading name: %w", err)
+	}
+	h.Name = string(name)
+	var f [16]byte
+	if _, err := io.ReadFull(r, f[:]); err != nil {
+		return Header{}, fmt.Errorf("trace: reading model: %w", err)
+	}
+	h.Model.CPUServiceNs = math.Float64frombits(binary.LittleEndian.Uint64(f[0:8]))
+	h.Model.StallsPerOp = math.Float64frombits(binary.LittleEndian.Uint64(f[8:16]))
+	if h.TotalPages, err = binary.ReadUvarint(r); err != nil {
+		return Header{}, fmt.Errorf("trace: reading total pages: %w", err)
+	}
+	if h.WarmupTicks, err = binary.ReadUvarint(r); err != nil {
+		return Header{}, fmt.Errorf("trace: reading warmup ticks: %w", err)
+	}
+	return h, nil
+}
+
+// zigzag folds a signed delta into an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer streams a trace: the header is written on construction, events
+// as they arrive. Errors are sticky; check Err or the Close result.
+type Writer struct {
+	bw      *bufio.Writer
+	closers []io.Closer
+	prev    pagetable.VPN
+	events  uint64
+	scratch []byte
+	err     error
+}
+
+// NewWriter starts a trace on w with the given header.
+func NewWriter(w io.Writer, h Header) *Writer {
+	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	tw.write(encodeHeader(h))
+	return tw
+}
+
+// Create opens path for writing and starts a trace on it. Paths ending
+// in ".gz" are gzip-compressed.
+func Create(path string, h Header) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var w io.Writer = f
+	closers := []io.Closer{f}
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		w = gz
+		closers = []io.Closer{gz, f}
+	}
+	tw := NewWriter(w, h)
+	tw.closers = closers
+	return tw, tw.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err == nil {
+		_, w.err = w.bw.Write(p)
+	}
+}
+
+func (w *Writer) writeByte(b byte) {
+	if w.err == nil {
+		w.err = w.bw.WriteByte(b)
+	}
+}
+
+func (w *Writer) uvarint(v uint64) {
+	w.scratch = binary.AppendUvarint(w.scratch[:0], v)
+	w.write(w.scratch)
+}
+
+// WriteEvent appends one event to the stream.
+func (w *Writer) WriteEvent(e Event) {
+	w.writeByte(byte(e.Op))
+	switch e.Op {
+	case OpMmap:
+		w.uvarint(uint64(e.Start))
+		w.uvarint(e.Pages)
+		w.writeByte(byte(e.Type))
+		w.scratch = binary.LittleEndian.AppendUint64(w.scratch[:0], math.Float64bits(e.Dirty))
+		w.write(w.scratch)
+	case OpMunmap:
+		w.uvarint(uint64(e.Start))
+		w.uvarint(e.Pages)
+		w.writeByte(byte(e.Type))
+	case OpTouch, OpAccess:
+		w.uvarint(zigzag(int64(e.VPN) - int64(w.prev)))
+		w.prev = e.VPN
+	case OpTickEnd, OpStartEnd:
+		// no operands
+	default:
+		if w.err == nil {
+			w.err = fmt.Errorf("trace: writing invalid opcode %d", e.Op)
+		}
+	}
+	w.events++
+}
+
+// Mmap records a region creation with its dirty-at-fault probability.
+func (w *Writer) Mmap(r pagetable.Region, dirtyProb float64) {
+	w.WriteEvent(Event{Op: OpMmap, Start: r.Start, Pages: r.Pages, Type: r.Type, Dirty: dirtyProb})
+}
+
+// Munmap records a region teardown.
+func (w *Writer) Munmap(r pagetable.Region) {
+	w.WriteEvent(Event{Op: OpMunmap, Start: r.Start, Pages: r.Pages, Type: r.Type})
+}
+
+// Touch records an explicit workload touch (housekeeping access).
+func (w *Writer) Touch(v pagetable.VPN) { w.WriteEvent(Event{Op: OpTouch, VPN: v}) }
+
+// Access records one access drawn from NextAccess.
+func (w *Writer) Access(v pagetable.VPN) { w.WriteEvent(Event{Op: OpAccess, VPN: v}) }
+
+// TickEnd closes the current tick.
+func (w *Writer) TickEnd() { w.WriteEvent(Event{Op: OpTickEnd}) }
+
+// StartEnd closes the Start (setup) section.
+func (w *Writer) StartEnd() { w.WriteEvent(Event{Op: OpStartEnd}) }
+
+// Events returns the number of events written so far.
+func (w *Writer) Events() uint64 { return w.events }
+
+// Err returns the first error encountered while writing.
+func (w *Writer) Err() error { return w.err }
+
+// Flush pushes buffered events to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close flushes and closes any underlying file opened by Create.
+func (w *Writer) Close() error {
+	w.Flush()
+	for _, c := range w.closers {
+		if err := c.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	w.closers = nil
+	return w.err
+}
+
+// Reader streams events back out of a trace. Next returns io.EOF at a
+// clean end of stream.
+type Reader struct {
+	br   byteStream
+	h    Header
+	prev pagetable.VPN
+}
+
+// NewReader parses the header and prepares to stream events. The reader
+// does not decompress; wrap r in gzip.Reader first if needed (Load does
+// this automatically).
+func NewReader(r io.Reader) (*Reader, error) {
+	bs, ok := r.(byteStream)
+	if !ok {
+		bs = bufio.NewReaderSize(r, 1<<16)
+	}
+	h, err := readHeader(bs)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{br: bs, h: h}, nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() Header { return r.h }
+
+// Next decodes the next event. It returns io.EOF at the end of the
+// stream; any other error means the trace is malformed.
+func (r *Reader) Next() (Event, error) {
+	op, err := r.br.ReadByte()
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading opcode: %w", err)
+	}
+	e := Event{Op: Op(op)}
+	switch e.Op {
+	case OpMmap, OpMunmap:
+		start, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: %s start: %w", e.Op, err)
+		}
+		pages, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: %s pages: %w", e.Op, err)
+		}
+		t, err := r.br.ReadByte()
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: %s type: %w", e.Op, err)
+		}
+		if int(t) >= mem.NumPageTypes {
+			return Event{}, fmt.Errorf("trace: %s bad page type %d", e.Op, t)
+		}
+		e.Start, e.Pages, e.Type = pagetable.VPN(start), pages, mem.PageType(t)
+		if e.Op == OpMmap {
+			var f [8]byte
+			if _, err := io.ReadFull(r.br, f[:]); err != nil {
+				return Event{}, fmt.Errorf("trace: mmap dirty prob: %w", err)
+			}
+			e.Dirty = math.Float64frombits(binary.LittleEndian.Uint64(f[:]))
+		}
+	case OpTouch, OpAccess:
+		u, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: %s delta: %w", e.Op, err)
+		}
+		e.VPN = pagetable.VPN(int64(r.prev) + unzigzag(u))
+		r.prev = e.VPN
+	case OpTickEnd, OpStartEnd:
+		// no operands
+	default:
+		return Event{}, fmt.Errorf("trace: unknown opcode %d", op)
+	}
+	return e, nil
+}
+
+// Trace is a fully loaded trace: the header plus the encoded event
+// stream held in memory. It is the unit the CLI and catalog pass around;
+// Replayer views are cheap cursors over the shared encoded bytes.
+type Trace struct {
+	Header Header
+	data   []byte
+	ticks  uint64 // lazily counted by Ticks
+}
+
+// Decode parses an uncompressed trace image.
+func Decode(raw []byte) (*Trace, error) {
+	br := bytes.NewReader(raw)
+	h, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Header: h, data: raw[len(raw)-br.Len():]}, nil
+}
+
+// Load reads a trace file, transparently gunzipping if the content is
+// gzip-compressed (sniffed by magic, not extension).
+func Load(path string) (*Trace, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		if raw, err = io.ReadAll(gz); err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		if err := gz.Close(); err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+	}
+	tr, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Save writes the trace to path, gzip-compressed when the path ends in
+// ".gz".
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	_, err = w.Write(encodeHeader(t.Header))
+	if err == nil {
+		_, err = w.Write(t.data)
+	}
+	if gz != nil {
+		if cerr := gz.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Events returns a fresh streaming cursor over the trace's events.
+func (t *Trace) Events() *Reader {
+	return &Reader{br: bytes.NewReader(t.data), h: t.Header}
+}
+
+// Size returns the encoded event-stream size in bytes.
+func (t *Trace) Size() int { return len(t.data) }
+
+// Ticks returns the number of recorded ticks (TickEnd events), scanning
+// the stream once and caching the result. Callers use it to size replay
+// runs: a machine that outlasts a non-looping trace idles for the
+// remainder and dilutes its scalars.
+func (t *Trace) Ticks() uint64 {
+	if t.ticks == 0 && len(t.data) > 0 {
+		r := t.Events()
+		for {
+			e, err := r.Next()
+			if err != nil {
+				break
+			}
+			if e.Op == OpTickEnd {
+				t.ticks++
+			}
+		}
+	}
+	return t.ticks
+}

@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/xrand"
+)
+
+func testHeader() Header {
+	return Header{
+		Version:     Version,
+		Name:        "RoundTrip",
+		Model:       metrics.ThroughputModel{CPUServiceNs: 312.5, StallsPerOp: 1.25},
+		TotalPages:  96 * 1024,
+		WarmupTicks: 120,
+	}
+}
+
+// genEvents builds a pseudo-random but grammar-conforming event stream
+// with large forward and backward VPN jumps to stress delta encoding.
+func genEvents(n int) []Event {
+	rng := xrand.New(42)
+	var out []Event
+	var nextStart pagetable.VPN
+	type reg struct {
+		start pagetable.VPN
+		pages uint64
+		t     mem.PageType
+	}
+	var live []reg
+	mmap := func(pages uint64, t mem.PageType, dirty float64) {
+		r := reg{nextStart, pages, t}
+		nextStart += pagetable.VPN(pages) + 16
+		live = append(live, r)
+		out = append(out, Event{Op: OpMmap, Start: r.start, Pages: r.pages, Type: r.t, Dirty: dirty})
+	}
+	mmap(1<<20, mem.Anon, 0)
+	mmap(1<<14, mem.File, 0.96)
+	mmap(1, mem.Tmpfs, 0.5)
+	out = append(out, Event{Op: OpStartEnd})
+	for len(out) < n {
+		switch rng.Intn(10) {
+		case 0:
+			mmap(rng.Uint64n(1<<16)+1, mem.PageType(rng.Intn(mem.NumPageTypes)), rng.Float64())
+		case 1:
+			if len(live) > 1 {
+				i := rng.Intn(len(live))
+				r := live[i]
+				live = append(live[:i], live[i+1:]...)
+				out = append(out, Event{Op: OpMunmap, Start: r.start, Pages: r.pages, Type: r.t})
+			}
+		case 2:
+			out = append(out, Event{Op: OpTickEnd})
+		default:
+			r := live[rng.Intn(len(live))]
+			op := OpAccess
+			if rng.Bool(0.3) {
+				op = OpTouch
+			}
+			out = append(out, Event{Op: op, VPN: r.start + pagetable.VPN(rng.Uint64n(r.pages))})
+		}
+	}
+	out = append(out, Event{Op: OpTickEnd})
+	return out
+}
+
+func writeStream(t *testing.T, h Header, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, h)
+	for _, e := range events {
+		w.WriteEvent(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func readAll(t *testing.T, r *Reader) []Event {
+	t.Helper()
+	var out []Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		out = append(out, e)
+	}
+}
+
+func TestWriterReaderIdentity(t *testing.T) {
+	h := testHeader()
+	events := genEvents(5000)
+	raw := writeStream(t, h, events)
+
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header() != h {
+		t.Fatalf("header mismatch:\n got %+v\nwant %+v", r.Header(), h)
+	}
+	got := readAll(t, r)
+	if len(got) != len(events) {
+		t.Fatalf("event count %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestDecodeMatchesReader(t *testing.T) {
+	h := testHeader()
+	events := genEvents(300)
+	raw := writeStream(t, h, events)
+	tr, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header != h {
+		t.Fatalf("header mismatch: %+v", tr.Header)
+	}
+	got := readAll(t, tr.Events())
+	if len(got) != len(events) {
+		t.Fatalf("event count %d, want %d", len(got), len(events))
+	}
+	// Two independent cursors over the same Trace must not interfere.
+	a, b := tr.Events(), tr.Events()
+	ea, _ := a.Next()
+	eb, _ := b.Next()
+	if ea != eb {
+		t.Fatalf("independent cursors diverged: %+v vs %+v", ea, eb)
+	}
+}
+
+func TestSaveLoadGzip(t *testing.T) {
+	h := testHeader()
+	events := genEvents(1000)
+	tr, err := Decode(writeStream(t, h, events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"t.trace", "t.trace.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := tr.Save(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Header != h {
+			t.Fatalf("%s: header mismatch", name)
+		}
+		if !bytes.Equal(got.data, tr.data) {
+			t.Fatalf("%s: event stream mismatch (%d vs %d bytes)", name, len(got.data), len(tr.data))
+		}
+	}
+}
+
+func TestCreateWritesGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.trace.gz")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Mmap(pagetable.Region{Start: 0, Pages: 64, Type: mem.Anon}, 0.25)
+	w.StartEnd()
+	w.Touch(5)
+	w.Access(63)
+	w.TickEnd()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, tr.Events())
+	want := []Event{
+		{Op: OpMmap, Pages: 64, Type: mem.Anon, Dirty: 0.25},
+		{Op: OpStartEnd},
+		{Op: OpTouch, VPN: 5},
+		{Op: OpAccess, VPN: 63},
+		{Op: OpTickEnd},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRejectsCorruptInput(t *testing.T) {
+	if _, err := Decode([]byte("NOTATRACE___")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	raw := writeStream(t, testHeader(), genEvents(50))
+	if _, err := Decode(raw[:len(Magic)+2]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Truncating mid-event must produce a non-EOF error from Next. End
+	// the stream with a multi-byte event so dropping its last byte cuts
+	// inside the event, not between events.
+	raw = writeStream(t, testHeader(), []Event{
+		{Op: OpMmap, Start: 0, Pages: 1 << 20, Type: mem.Anon, Dirty: 0.5},
+	})
+	tr, err := Decode(raw[:len(raw)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Events()
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("truncated stream read cleanly to EOF")
+		}
+		if err != nil {
+			break
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Fatalf("zigzag(%d) round-tripped to %d", d, got)
+		}
+	}
+}
+
+// TestGeneratorsWellFormed walks each generated scenario with a mini
+// interpreter, checking the stream grammar and that every touch/access
+// lands inside a live region.
+func TestGeneratorsWellFormed(t *testing.T) {
+	cfg := GenConfig{Pages: 2048, Minutes: 2, AccessesPerTick: 50, Seed: 9}
+	for name, tr := range map[string]*Trace{
+		"PhaseShift": PhaseShift(cfg),
+		"SeqScan":    SequentialScan(cfg),
+		"AdvChurn":   AdversarialChurn(cfg),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if tr.Header.Name == "" || tr.Header.TotalPages != cfg.Pages {
+				t.Fatalf("bad header %+v", tr.Header)
+			}
+			type span struct {
+				start pagetable.VPN
+				pages uint64
+			}
+			var live []span
+			contains := func(v pagetable.VPN) bool {
+				for _, s := range live {
+					if v >= s.start && v < s.start+pagetable.VPN(s.pages) {
+						return true
+					}
+				}
+				return false
+			}
+			ticks, accesses := 0, 0
+			sawStartEnd := false
+			var lastStart pagetable.VPN
+			r := tr.Events()
+			for {
+				e, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch e.Op {
+				case OpMmap:
+					if len(live) > 0 && e.Start <= lastStart {
+						t.Fatalf("mmap starts not strictly increasing: %d after %d", e.Start, lastStart)
+					}
+					lastStart = e.Start
+					live = append(live, span{e.Start, e.Pages})
+				case OpMunmap:
+					found := false
+					for i, s := range live {
+						if s.start == e.Start && s.pages == e.Pages {
+							live = append(live[:i], live[i+1:]...)
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("munmap of unknown region %d", e.Start)
+					}
+				case OpTouch, OpAccess:
+					if !contains(e.VPN) {
+						t.Fatalf("%s %d outside live regions", e.Op, e.VPN)
+					}
+					if e.Op == OpAccess {
+						accesses++
+					}
+				case OpTickEnd:
+					ticks++
+				case OpStartEnd:
+					sawStartEnd = true
+				}
+			}
+			if !sawStartEnd {
+				t.Fatal("no StartEnd marker")
+			}
+			if want := cfg.Minutes * 60; ticks != want {
+				t.Fatalf("ticks = %d, want %d", ticks, want)
+			}
+			if want := cfg.Minutes * 60 * cfg.AccessesPerTick; accesses != want {
+				t.Fatalf("accesses = %d, want %d", accesses, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/pagetable"
+	"tppsim/internal/workload"
+)
+
+// Recorder wraps a workload and transparently captures its full event
+// stream — mmaps, munmaps, touches, and the sampled access stream — as
+// the simulator runs it. The wrapped workload's behaviour is unchanged:
+// every Ctx call is forwarded to the real machine, and the workload's
+// random stream is untouched, so a recorded run is bit-identical to an
+// unrecorded one.
+//
+// Close must be called after the run to write the final tick marker and
+// flush the writer; sim.Config.RecordTo wires this up automatically.
+type Recorder struct {
+	inner  workload.Workload
+	w      *Writer
+	ticked bool
+}
+
+var _ workload.Workload = (*Recorder)(nil)
+var _ workload.DirtyModel = (*Recorder)(nil)
+
+// NewRecorder wraps inner, sending its event stream to w. The caller is
+// expected to have constructed w with HeaderFor(inner).
+func NewRecorder(inner workload.Workload, w *Writer) *Recorder {
+	return &Recorder{inner: inner, w: w}
+}
+
+// Name implements workload.Workload.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Model implements workload.Workload.
+func (r *Recorder) Model() metrics.ThroughputModel { return r.inner.Model() }
+
+// TotalPages implements workload.Workload.
+func (r *Recorder) TotalPages() uint64 { return r.inner.TotalPages() }
+
+// WarmupTicks implements workload.Workload.
+func (r *Recorder) WarmupTicks() uint64 { return r.inner.WarmupTicks() }
+
+// Start implements workload.Workload: the inner setup runs against a
+// recording context, then the start section is closed.
+func (r *Recorder) Start(ctx workload.Ctx) {
+	r.inner.Start(recCtx{ctx, r})
+	r.w.StartEnd()
+}
+
+// Tick implements workload.Workload. The previous tick's end marker is
+// written lazily here, after that tick's accesses have been recorded.
+func (r *Recorder) Tick(ctx workload.Ctx, tick uint64) {
+	if r.ticked {
+		r.w.TickEnd()
+	}
+	r.ticked = true
+	r.inner.Tick(recCtx{ctx, r}, tick)
+}
+
+// NextAccess implements workload.Workload, recording each drawn access.
+func (r *Recorder) NextAccess(ctx workload.Ctx, tick uint64) (pagetable.VPN, bool) {
+	v, ok := r.inner.NextAccess(recCtx{ctx, r}, tick)
+	if ok {
+		r.w.Access(v)
+	}
+	return v, ok
+}
+
+// DirtyProb implements workload.DirtyModel by delegation, so recording a
+// workload does not alter its dirty-at-fault behaviour.
+func (r *Recorder) DirtyProb(reg pagetable.Region) float64 {
+	if dm, ok := r.inner.(workload.DirtyModel); ok {
+		return dm.DirtyProb(reg)
+	}
+	return 0
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error { return r.w.Err() }
+
+// WorkloadErr implements workload.ErrorReporter by forwarding the
+// wrapped workload's error (recording a replay stays fail-loud). The
+// recorder's own write errors are surfaced via sim's RecordError, not
+// here: a broken trace file does not invalidate the simulation.
+func (r *Recorder) WorkloadErr() error {
+	if er, ok := r.inner.(workload.ErrorReporter); ok {
+		return er.WorkloadErr()
+	}
+	return nil
+}
+
+// Close ends the trace (final tick marker) and closes the writer.
+func (r *Recorder) Close() error {
+	if r.ticked {
+		r.w.TickEnd()
+	}
+	return r.w.Close()
+}
+
+// recCtx forwards every machine call and mirrors the mutating ones into
+// the trace. RNG passes through untouched via the embedded Ctx.
+type recCtx struct {
+	workload.Ctx
+	rec *Recorder
+}
+
+// Mmap forwards the reservation and records the resulting region along
+// with its dirty-at-fault probability.
+func (c recCtx) Mmap(pages uint64, t mem.PageType) pagetable.Region {
+	reg := c.Ctx.Mmap(pages, t)
+	c.rec.w.Mmap(reg, c.rec.DirtyProb(reg))
+	return reg
+}
+
+// Munmap records then forwards the teardown.
+func (c recCtx) Munmap(reg pagetable.Region) {
+	c.rec.w.Munmap(reg)
+	c.Ctx.Munmap(reg)
+}
+
+// Touch records then forwards the access.
+func (c recCtx) Touch(v pagetable.VPN) {
+	c.rec.w.Touch(v)
+	c.Ctx.Touch(v)
+}

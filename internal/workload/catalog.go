@@ -252,16 +252,32 @@ func Ads(variant int, total uint64) *Profile {
 	}
 }
 
-// Catalog maps workload names to constructors, for the CLI tools.
-var Catalog = map[string]func(total uint64) *Profile{
-	"Web1":      Web1,
-	"Web2":      Web2,
-	"Cache1":    Cache1,
-	"Cache2":    Cache2,
-	"Warehouse": Warehouse,
-	"Ads1":      func(t uint64) *Profile { return Ads(1, t) },
-	"Ads2":      func(t uint64) *Profile { return Ads(2, t) },
-	"Ads3":      func(t uint64) *Profile { return Ads(3, t) },
+// Catalog maps workload names to constructors, for the CLI tools. Every
+// value builds a fresh Workload per call; entries are either the paper's
+// Profile workloads below or trace-backed scenarios registered by other
+// packages (internal/trace adds its generated scenarios via Register).
+var Catalog = map[string]func(total uint64) Workload{
+	"Web1":      profileEntry(Web1),
+	"Web2":      profileEntry(Web2),
+	"Cache1":    profileEntry(Cache1),
+	"Cache2":    profileEntry(Cache2),
+	"Warehouse": profileEntry(Warehouse),
+	"Ads1":      profileEntry(func(t uint64) *Profile { return Ads(1, t) }),
+	"Ads2":      profileEntry(func(t uint64) *Profile { return Ads(2, t) }),
+	"Ads3":      profileEntry(func(t uint64) *Profile { return Ads(3, t) }),
+}
+
+// profileEntry adapts a Profile constructor to the catalog's Workload
+// signature.
+func profileEntry(ctor func(total uint64) *Profile) func(total uint64) Workload {
+	return func(total uint64) Workload { return ctor(total) }
+}
+
+// Register adds (or replaces) a catalog entry. Packages providing
+// non-Profile workloads — trace replays, generated scenarios — use it to
+// appear in the CLI catalogs alongside the paper's workloads.
+func Register(name string, ctor func(total uint64) Workload) {
+	Catalog[name] = ctor
 }
 
 // Names returns the catalog keys sorted.

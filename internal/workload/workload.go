@@ -60,6 +60,24 @@ type Workload interface {
 	NextAccess(ctx Ctx, tick uint64) (v pagetable.VPN, ok bool)
 }
 
+// ErrorReporter is an optional Workload extension for workloads that
+// can fail mid-run — e.g. a trace replay hitting a corrupt stream. The
+// simulator checks it when the run completes and marks the run failed,
+// so a silently-stalled workload cannot masquerade as a healthy result.
+type ErrorReporter interface {
+	WorkloadErr() error
+}
+
+// DirtyModel is an optional Workload extension: the probability that a
+// page faulted into region r is dirty at birth (dirty file pages force
+// writeback on default reclaim). The simulator consults it on the fault
+// path; workloads that do not implement it fault clean pages. The trace
+// recorder persists these probabilities per region so a replayed run
+// reproduces the original's writeback load exactly.
+type DirtyModel interface {
+	DirtyProb(r pagetable.Region) float64
+}
+
 // RegionSpec declares one region of a Profile.
 type RegionSpec struct {
 	// Name for debugging and per-region stats.
@@ -142,6 +160,7 @@ type regionState struct {
 }
 
 var _ Workload = (*Profile)(nil)
+var _ DirtyModel = (*Profile)(nil)
 
 // Name implements Workload.
 func (p *Profile) Name() string { return p.PName }
@@ -163,6 +182,20 @@ func (p *Profile) TotalPages() uint64 {
 		s += r.Pages
 	}
 	return s
+}
+
+// DirtyProb implements DirtyModel: the dirty-at-fault probability for
+// pages in r. Regions are identified by size+type; profiles keep them
+// unique enough for this purpose (churn segments share spec sizes).
+func (p *Profile) DirtyProb(r pagetable.Region) float64 {
+	for i := range p.Specs {
+		spec := &p.Specs[i]
+		if spec.Type == r.Type && (spec.Pages == r.Pages ||
+			(spec.ChurnSegments > 0 && r.Pages == spec.Pages/uint64(spec.ChurnSegments))) {
+			return spec.DirtyProb
+		}
+	}
+	return 0
 }
 
 // Start implements Workload: mmap every region and initialize samplers.

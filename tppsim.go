@@ -24,6 +24,29 @@
 // come from the Workloads catalog or custom workload.Profile values; the
 // experiments registry (Experiments) regenerates every table and figure
 // of the paper.
+//
+// # Record and replay
+//
+// Any run's access stream can be captured to a compact binary trace and
+// deterministically re-driven under every policy — the same stream,
+// apples to apples (paths ending in ".gz" are compressed):
+//
+//	cfg := tppsim.MachineConfig{
+//		Policy:   tppsim.DefaultLinux(),
+//		Workload: tppsim.Workloads["Cache1"](tppsim.DefaultWorkingSet),
+//		Ratio:    [2]uint64{2, 1},
+//	}
+//	if _, err := tppsim.Record(cfg, "cache1.trace.gz"); err != nil { ... }
+//
+//	cfg.Policy = tppsim.TPP()
+//	res, err := tppsim.Replay("cache1.trace.gz", cfg)
+//
+// Replaying with the same policy, seed, and machine configuration as the
+// recording reproduces its scalar results exactly. OpenTrace loads a
+// trace for inspection or for building custom Replayer workloads (loop,
+// truncate). The catalog also carries trace-backed scenarios generated
+// by internal/trace ("PhaseShift", "SeqScan", "AdvChurn") that the
+// Profile model cannot express.
 package tppsim
 
 import (
@@ -31,6 +54,7 @@ import (
 	"tppsim/internal/experiments"
 	"tppsim/internal/metrics"
 	"tppsim/internal/sim"
+	"tppsim/internal/trace"
 	"tppsim/internal/workload"
 )
 
@@ -93,3 +117,62 @@ func Experiments() []experiments.Spec { return experiments.Registry() }
 
 // ExperimentOptions scales experiment runs.
 type ExperimentOptions = experiments.Options
+
+// RunExperiments executes specs on a bounded worker pool and returns
+// results in spec order; workers <= 0 uses all CPUs.
+func RunExperiments(specs []experiments.Spec, o ExperimentOptions, workers int) []experiments.Result {
+	return experiments.RunAll(specs, o, workers)
+}
+
+// Trace is a loaded access trace: header plus encoded event stream.
+type Trace = trace.Trace
+
+// TraceHeader describes the workload a trace was captured from.
+type TraceHeader = trace.Header
+
+// ReplayOptions tune trace replay (loop, truncate).
+type ReplayOptions = trace.ReplayOptions
+
+// OpenTrace loads a trace file (gzip is sniffed and handled). Use
+// Trace.Replayer to build Workloads from it.
+func OpenTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// Record runs the configured machine while capturing the workload's
+// event stream to path. It returns the run's results; the error reports
+// a failure to write the trace (the results remain valid).
+func Record(cfg MachineConfig, path string) (*RunResult, error) {
+	cfg.RecordTo = path
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := m.Run()
+	return res, m.RecordError()
+}
+
+// Replay loads the trace at path and runs it as cfg's workload; any
+// Workload already set in cfg is ignored. When cfg.Minutes is zero the
+// run length defaults to the trace's own length (not the simulator's
+// 60-minute default), so the scalars are never diluted by idle ticks
+// after the trace runs out; set Minutes explicitly (and use a looping
+// Replayer from OpenTrace) to run longer. Replaying under the recording
+// run's policy, seed, and machine configuration reproduces its scalar
+// results exactly; changing the policy replays the identical access
+// stream under the new mechanism.
+func Replay(path string, cfg MachineConfig) (*RunResult, error) {
+	tr, err := OpenTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Minutes == 0 {
+		if ticks := tr.Ticks(); ticks > 0 {
+			cfg.Minutes = int((ticks + workload.TicksPerMinute - 1) / workload.TicksPerMinute)
+		}
+	}
+	cfg.Workload = tr.Replayer(ReplayOptions{})
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}

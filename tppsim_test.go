@@ -1,6 +1,7 @@
 package tppsim
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -30,13 +31,72 @@ func TestQuickstartFacade(t *testing.T) {
 
 func TestWorkloadCatalogExposed(t *testing.T) {
 	names := WorkloadNames()
-	if len(names) != 8 {
+	// The paper's eight production workloads plus the three trace-backed
+	// generated scenarios.
+	want := []string{
+		"Ads1", "Ads2", "Ads3", "AdvChurn", "Cache1", "Cache2",
+		"PhaseShift", "SeqScan", "Warehouse", "Web1", "Web2",
+	}
+	if len(names) != len(want) {
 		t.Fatalf("WorkloadNames = %v", names)
 	}
-	for _, n := range names {
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("WorkloadNames[%d] = %q, want %q (all: %v)", i, names[i], n, names)
+		}
 		if Workloads[n] == nil {
 			t.Fatalf("catalog missing %s", n)
 		}
+	}
+}
+
+// TestRecordReplayFacade drives the exported Record/Replay/OpenTrace
+// surface end to end: record a run, replay it identically, and re-drive
+// the same trace under a different policy.
+func TestRecordReplayFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache1.trace.gz")
+	cfg := MachineConfig{
+		Seed:     7,
+		Policy:   TPP(),
+		Workload: Workloads["Cache1"](4 * 1024),
+		Ratio:    [2]uint64{2, 1},
+		Minutes:  5,
+	}
+	base, err := Record(cfg, path)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if base.Failed {
+		t.Fatalf("recorded run failed: %s", base.FailReason)
+	}
+
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatalf("OpenTrace: %v", err)
+	}
+	if tr.Header.Name != "Cache1" || tr.Header.TotalPages != cfg.Workload.TotalPages() {
+		t.Fatalf("trace header = %+v", tr.Header)
+	}
+
+	rep, err := Replay(path, cfg)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.NormalizedThroughput != base.NormalizedThroughput ||
+		rep.AvgLocalTraffic != base.AvgLocalTraffic ||
+		rep.AvgLatencyNs != base.AvgLatencyNs {
+		t.Fatalf("replay diverged: recorded %v/%v/%v, replayed %v/%v/%v",
+			base.NormalizedThroughput, base.AvgLocalTraffic, base.AvgLatencyNs,
+			rep.NormalizedThroughput, rep.AvgLocalTraffic, rep.AvgLatencyNs)
+	}
+
+	cfg.Policy = DefaultLinux()
+	other, err := Replay(path, cfg)
+	if err != nil {
+		t.Fatalf("Replay under DefaultLinux: %v", err)
+	}
+	if other.Failed {
+		t.Fatalf("cross-policy replay failed: %s", other.FailReason)
 	}
 }
 
