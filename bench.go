@@ -1,0 +1,20 @@
+package tppsim
+
+// SimTickBenchConfig is the canonical core-loop benchmark setup shared
+// by BenchmarkSimTick (bench_test.go) and cmd/bench, which commits its
+// result as BENCH_simtick.json. Keeping one definition means the CI
+// benchmark and the perf-trajectory artifact always measure the same
+// machine.
+func SimTickBenchConfig() MachineConfig {
+	return MachineConfig{
+		Seed:     1,
+		Policy:   TPP(),
+		Workload: Workloads["Cache1"](8 * 1024),
+		Ratio:    [2]uint64{2, 1},
+		Minutes:  1 << 30,
+	}
+}
+
+// SimTickBenchWarmTicks is how many ticks the benchmark machine steps
+// before measurement, moving it past the workload's fill phase.
+const SimTickBenchWarmTicks = 600

@@ -55,19 +55,19 @@ func BenchmarkX2ReclaimSpeed(b *testing.B)        { benchExperiment(b, "X2") }
 func BenchmarkX3MigrationBandwidth(b *testing.B)  { benchExperiment(b, "X3") }
 
 // BenchmarkSimTick measures the simulator's core-loop cost: one machine
-// tick including the access stream and daemons.
+// tick including the access stream and daemons. The machine setup is
+// shared with cmd/bench (SimTickBenchConfig), which records the result
+// in BENCH_simtick.json.
 func BenchmarkSimTick(b *testing.B) {
-	wl := Workloads["Cache1"](8 * 1024)
-	m, err := NewMachine(MachineConfig{
-		Seed: 1, Policy: TPP(), Workload: wl, Ratio: [2]uint64{2, 1}, Minutes: 1 << 30,
-	})
+	m, err := NewMachine(SimTickBenchConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
 	// Warm the machine past its fill phase.
-	for i := 0; i < 600; i++ {
+	for i := 0; i < SimTickBenchWarmTicks; i++ {
 		m.Step()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()

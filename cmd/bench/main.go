@@ -1,0 +1,63 @@
+// Command bench runs the simulator's core-loop benchmark (the same
+// machine and warm-up as BenchmarkSimTick in bench_test.go) and writes
+// the result to BENCH_simtick.json, the repo's performance-trajectory
+// artifact. Run it from the repo root after perf-relevant changes:
+//
+//	go run ./cmd/bench            # writes ./BENCH_simtick.json
+//	go run ./cmd/bench -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tppsim"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_simtick.json", "output JSON path")
+	flag.Parse()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		m, err := tppsim.NewMachine(tppsim.SimTickBenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the machine past its fill phase, as BenchmarkSimTick does.
+		for i := 0; i < tppsim.SimTickBenchWarmTicks; i++ {
+			m.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Step()
+		}
+	})
+
+	report := map[string]any{
+		"benchmark":     "SimTick",
+		"iterations":    res.N,
+		"ns_per_op":     float64(res.T.Nanoseconds()) / float64(res.N),
+		"bytes_per_op":  res.AllocedBytesPerOp(),
+		"allocs_per_op": res.AllocsPerOp(),
+		"goos":          runtime.GOOS,
+		"goarch":        runtime.GOARCH,
+		"go_version":    runtime.Version(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations) -> %s\n",
+		report["ns_per_op"], res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N, *out)
+}

@@ -49,7 +49,7 @@ func main() {
 
 	snap := tpp.Stat().Snapshot()
 	fmt.Println("\nTPP placement activity (vmstat):")
-	for _, c := range []string{
+	for _, c := range []vmstat.Counter{
 		vmstat.PgdemoteKswapd, vmstat.PgdemoteAnon, vmstat.PgdemoteFile,
 		vmstat.PgpromoteSuccess, vmstat.PgpromoteDemoted, vmstat.NumaHintFaults,
 	} {

@@ -214,7 +214,12 @@ func (v *Vec) RotateToFront(pfn mem.PFN) {
 //
 // It returns true when the call activated the page.
 func (v *Vec) MarkAccessed(pfn mem.PFN) bool {
-	pg := v.store.Page(pfn)
+	return v.MarkAccessedPage(pfn, v.store.Page(pfn))
+}
+
+// MarkAccessedPage is MarkAccessed for callers that already hold the page
+// pointer, sparing the hot path a second store lookup.
+func (v *Vec) MarkAccessedPage(pfn mem.PFN, pg *mem.Page) bool {
 	if !pg.Flags.Has(mem.PGOnLRU) {
 		// Isolated or off-LRU pages just collect the referenced bit.
 		pg.Flags = pg.Flags.Set(mem.PGReferenced)

@@ -84,6 +84,10 @@ type Balancer struct {
 	engine *migrate.Engine
 	as     *pagetable.AddressSpace
 
+	// nodeCXL caches per-node "is CXL" so the per-access and per-scan
+	// checks are a slice index instead of a topology walk.
+	nodeCXL []bool
+
 	// VA-order scan cursor (the kernel walks mm->mmap sequentially and
 	// wraps).
 	cursorRegion int
@@ -94,7 +98,11 @@ type Balancer struct {
 // New wires a balancer over the machine.
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 	stat *vmstat.Stat, engine *migrate.Engine, as *pagetable.AddressSpace) *Balancer {
-	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as}
+	cxl := make([]bool, topo.NumNodes())
+	for i := range cxl {
+		cxl[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindCXL
+	}
+	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as, nodeCXL: cxl}
 }
 
 // Config returns the balancer configuration.
@@ -119,26 +127,23 @@ func (b *Balancer) Tick() float64 {
 // PTE present-bit clearing).
 func (b *Balancer) scan() float64 {
 	const perPageNs = 150 // PTE walk + unmap cost per sampled page
-	regions := b.as.Regions()
-	if len(regions) == 0 {
+	numRegions := b.as.NumRegions()
+	if numRegions == 0 {
 		return 0
 	}
-	if b.cursorRegion >= len(regions) {
+	if b.cursorRegion >= numRegions {
 		b.cursorRegion = 0
 		b.cursorOffset = 0
 	}
 	marked := 0
 	visited := 0
 	// Bound the walk to one full pass over the address space per scan.
-	var totalPages uint64
-	for _, r := range regions {
-		totalPages += r.Pages
-	}
+	totalPages := b.as.TotalPages()
 	spent := 0.0
 	for marked < b.cfg.ScanSizePages && visited < int(totalPages) {
-		r := regions[b.cursorRegion]
+		r := b.as.RegionAt(b.cursorRegion)
 		if b.cursorOffset >= pagetable.VPN(r.Pages) {
-			b.cursorRegion = (b.cursorRegion + 1) % len(regions)
+			b.cursorRegion = (b.cursorRegion + 1) % numRegions
 			b.cursorOffset = 0
 			continue
 		}
@@ -150,7 +155,7 @@ func (b *Balancer) scan() float64 {
 			continue
 		}
 		pg := b.store.Page(pfn)
-		if b.cfg.CXLOnly && b.topo.Node(pg.Node).Kind != mem.KindCXL {
+		if b.cfg.CXLOnly && !b.nodeCXL[pg.Node] {
 			continue
 		}
 		if pg.Flags.Has(mem.PGHinted) {
@@ -177,13 +182,14 @@ type AccessOutcome struct {
 	LatencyNs float64
 }
 
-// OnAccess processes one CPU access to pfn. All simulated CPUs live on
-// local nodes, so any access to a CXL-resident page is a remote access.
-func (b *Balancer) OnAccess(pfn mem.PFN) AccessOutcome {
+// OnAccess processes one CPU access to pfn; pg must be pfn's page (the
+// caller already has it, so the hot path avoids a second store lookup).
+// All simulated CPUs live on local nodes, so any access to a CXL-resident
+// page is a remote access.
+func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 	if !b.cfg.Enabled {
 		return AccessOutcome{}
 	}
-	pg := b.store.Page(pfn)
 	if !pg.Flags.Has(mem.PGHinted) {
 		return AccessOutcome{}
 	}
@@ -191,8 +197,7 @@ func (b *Balancer) OnAccess(pfn mem.PFN) AccessOutcome {
 	out := AccessOutcome{HintFault: true, LatencyNs: b.cfg.HintFaultNs}
 	b.stat.Inc(vmstat.NumaHintFaults)
 
-	node := b.topo.Node(pg.Node)
-	if node.Kind != mem.KindCXL {
+	if !b.nodeCXL[pg.Node] {
 		// Local fault: nothing to promote.
 		b.stat.Inc(vmstat.NumaHintFaultsLocal)
 		return out

@@ -170,6 +170,102 @@ func TestMunmapClearsEvicted(t *testing.T) {
 	}
 }
 
+func TestRegionAccessorsNoCopy(t *testing.T) {
+	as := New(1)
+	r1 := as.Mmap(10, mem.Anon)
+	r2 := as.Mmap(20, mem.File)
+	if as.NumRegions() != 2 {
+		t.Fatalf("NumRegions = %d", as.NumRegions())
+	}
+	if as.RegionAt(0) != r1 || as.RegionAt(1) != r2 {
+		t.Fatal("RegionAt order wrong")
+	}
+	if as.TotalPages() != 30 {
+		t.Fatalf("TotalPages = %d", as.TotalPages())
+	}
+	var seen []Region
+	as.ForEachRegion(func(r Region) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != r1 {
+		t.Fatal("ForEachRegion wrong")
+	}
+	seen = seen[:0]
+	as.ForEachRegion(func(r Region) bool {
+		seen = append(seen, r)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Fatal("ForEachRegion ignored early stop")
+	}
+	as.Munmap(r1)
+	if as.NumRegions() != 1 || as.RegionAt(0) != r2 || as.TotalPages() != 20 {
+		t.Fatal("accessors stale after Munmap")
+	}
+}
+
+func TestTranslateBatchMatchesTranslate(t *testing.T) {
+	as := New(1)
+	r1 := as.Mmap(100, mem.Anon)
+	r2 := as.Mmap(50, mem.File)
+	as.MapPage(r1.Start+3, 30)
+	as.MapPage(r1.Start+99, 31)
+	as.MapPage(r2.Start, 32)
+	vs := []VPN{
+		r1.Start + 3, r1.Start + 4, r2.Start, r1.Start + 99,
+		r1.End() + 1, // guard gap
+		VPN(1 << 40), // far beyond the mapped span
+	}
+	out := make([]mem.PFN, len(vs))
+	as.TranslateBatch(vs, out)
+	for i, v := range vs {
+		pfn, ok := as.Translate(v)
+		if !ok {
+			pfn = mem.NilPFN
+		}
+		if out[i] != pfn {
+			t.Fatalf("batch[%d] (VPN %d) = %d, Translate = %d", i, v, out[i], pfn)
+		}
+	}
+}
+
+func TestMapPageOutsideRegionPanics(t *testing.T) {
+	as := New(1)
+	as.Mmap(4, mem.Anon)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("map outside any region did not panic")
+		}
+	}()
+	as.MapPage(VPN(1<<30), 1)
+}
+
+func TestEvictedCountTransitions(t *testing.T) {
+	as := New(1)
+	r := as.Mmap(8, mem.Anon)
+	for i := 0; i < 4; i++ {
+		as.MapPage(r.Start+VPN(i), mem.PFN(i))
+	}
+	as.UnmapPFN(0, EvictSwap)
+	as.UnmapPFN(1, EvictSwap)
+	as.UnmapPFN(2, EvictFile)
+	if as.EvictedCount(EvictSwap) != 2 || as.EvictedCount(EvictFile) != 1 || as.EvictedCount(EvictNone) != 3 {
+		t.Fatalf("counts = swap %d file %d all %d",
+			as.EvictedCount(EvictSwap), as.EvictedCount(EvictFile), as.EvictedCount(EvictNone))
+	}
+	// Refault clears the record.
+	as.MapPage(r.Start, 9)
+	if as.EvictedCount(EvictSwap) != 1 || as.EvictedCount(EvictNone) != 2 {
+		t.Fatal("MapPage did not decrement eviction counters")
+	}
+	// Munmap clears the rest.
+	as.Munmap(r)
+	if as.EvictedCount(EvictNone) != 0 {
+		t.Fatal("Munmap left eviction counters")
+	}
+}
+
 // Property: mapping then unmapping arbitrary distinct VPN sets leaves the
 // table empty and returns every PFN exactly once.
 func TestMapUnmapProperty(t *testing.T) {

@@ -89,6 +89,9 @@ type Daemon struct {
 	as     *pagetable.AddressSpace
 
 	woken []bool
+	// scanScratch backs scanOrder's return value so the per-tick shrink
+	// loop does not allocate.
+	scanScratch [2]lru.ListID
 }
 
 // New wires a reclaim daemon. swapd may be nil (the paper's evaluation
@@ -254,10 +257,12 @@ func (d *Daemon) shrinkNode(n *mem.Node, targetFree uint64, budgetNs float64, di
 
 // scanOrder returns the inactive lists worth scanning on this node,
 // file-class first (cheapest victims), skipping lists that cannot make
-// progress (anon/tmpfs with neither swap nor demotion).
+// progress (anon/tmpfs with neither swap nor demotion). The returned
+// slice aliases the daemon's scratch buffer; it is valid until the next
+// scanOrder call.
 func (d *Daemon) scanOrder(n *mem.Node, vec *lru.Vec, demoteTo mem.NodeID) []lru.ListID {
 	reclaimableAnon := demoteTo != mem.NilNode || d.swapd != nil
-	out := make([]lru.ListID, 0, 2)
+	out := d.scanScratch[:0]
 	if vec.Size(lru.InactiveFile) > 0 {
 		out = append(out, lru.InactiveFile)
 	}

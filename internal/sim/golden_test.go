@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"strconv"
+	"testing"
+
+	"tppsim/internal/core"
+	"tppsim/internal/workload"
+)
+
+// The golden values below were captured from the map-based address
+// space / string-keyed vmstat implementation (pre flat-page-table
+// refactor) and pin the simulator's observable behavior bit-for-bit:
+// the hot-path data structures are free to change, the physics are not.
+// If a change legitimately alters simulation behavior, recapture by
+// printing the same quantities from this config and update the table
+// with a note in the commit message.
+var goldenRuns = []struct {
+	wl         string
+	minutes    int
+	throughput string
+	local      string
+	latency    string
+	vmstat     string
+}{
+	{
+		wl: "Web1", minutes: 12,
+		throughput: "0.9988433116229649",
+		local:      "0.9968666666666668",
+		latency:    "100.44066666666667",
+		vmstat: `numa_hint_faults 2332
+numa_pages_scanned 7712
+pgalloc_cxl 1289
+pgalloc_local 29824
+pgdeactivate 13231
+pgdemote_anon 871
+pgdemote_fail 13
+pgdemote_fallback 13
+pgdemote_file 4749
+pgdemote_kswapd 5620
+pgfree 14424
+pgmigrate_fail 13
+pgmigrate_success 6179
+pgpromote_candidate 559
+pgpromote_demoted 351
+pgpromote_file 559
+pgpromote_sampled 2332
+pgpromote_success 559
+pgrotated 52816
+pgscan_kswapd 14761
+pgsteal_kswapd 9
+`,
+	},
+	{
+		wl: "Cache2", minutes: 10,
+		throughput: "0.9787817006593561",
+		local:      "0.8406224472611189",
+		latency:    "119.67079210252616",
+		vmstat: `numa_hint_faults 7299
+numa_pages_scanned 9948
+pgalloc_cxl 4132
+pgalloc_local 10941
+pgdeactivate 71360
+pgdemote_anon 1181
+pgdemote_fail 10
+pgdemote_fallback 10
+pgdemote_file 3493
+pgdemote_kswapd 4674
+pgmigrate_fail 19
+pgmigrate_success 8838
+pgpromote_anon 2075
+pgpromote_candidate 5956
+pgpromote_demoted 1027
+pgpromote_file 2089
+pgpromote_sampled 7299
+pgpromote_success 4164
+pgrotated 207523
+pgscan_kswapd 9657
+promote_fail_low_memory 1783
+promote_fail_page_refs 9
+`,
+	},
+}
+
+// TestSeedDeterminismGolden asserts that fixed-seed TPP runs reproduce
+// the exact scalars and vmstat snapshots of the pre-refactor simulator.
+func TestSeedDeterminismGolden(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(g.wl, func(t *testing.T) {
+			wl := workload.Catalog[g.wl](16 * 1024)
+			m, err := New(Config{
+				Seed: 7, Policy: core.TPP(), Workload: wl,
+				Ratio: [2]uint64{2, 1}, Minutes: g.minutes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			if res.Failed {
+				t.Fatalf("run failed: %s", res.FailReason)
+			}
+			f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+			if got := f(res.NormalizedThroughput); got != g.throughput {
+				t.Errorf("throughput = %s, want %s", got, g.throughput)
+			}
+			if got := f(res.AvgLocalTraffic); got != g.local {
+				t.Errorf("local traffic = %s, want %s", got, g.local)
+			}
+			if got := f(res.AvgLatencyNs); got != g.latency {
+				t.Errorf("latency = %s, want %s", got, g.latency)
+			}
+			if got := m.Stat().Snapshot().String(); got != g.vmstat {
+				t.Errorf("vmstat mismatch:\n got:\n%s want:\n%s", got, g.vmstat)
+			}
+		})
+	}
+}

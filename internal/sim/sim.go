@@ -128,19 +128,43 @@ type Machine struct {
 	swapd     *swap.Device
 	cham      *chameleon.Chameleon
 
-	wl       workload.Workload
+	wl workload.Workload
+	// batch is wl's batched draw fast path, when it offers one; the
+	// access stream then costs one call per tick instead of one
+	// interface dispatch per access.
+	batch     workload.BatchAccessor
+	accessBuf []pagetable.VPN
+	pfnBuf    []mem.PFN
+	// warmSink keeps the translate pass's page-line touches observable so
+	// the compiler cannot delete them; the loads are the point (they pull
+	// each access's page line toward the cache ahead of the heavy pass).
+	warmSink uint64
 	recorder *trace.Recorder
 	recErr   error
 	rng      *xrand.RNG
 	wlRNG    *xrand.RNG
 
-	tick     uint64
-	cur      metrics.Tick
-	run      *metrics.Run
-	baseLat  float64
-	failed   bool
-	failWhy  string
-	prevSnap vmstat.Snapshot
+	tick    uint64
+	cur     metrics.Tick
+	run     *metrics.Run
+	baseLat float64
+	failed  bool
+	failWhy string
+
+	// Per-node lookup tables cached from the topology so the access hot
+	// path is two slice indexes instead of pointer-chasing through
+	// Topology (node latency is fixed for the life of a machine; sweeps
+	// configure it via Config.CXLLatencyNs before assembly).
+	nodeLat   []float64
+	nodeLocal []bool
+	// numabOn caches whether NUMA balancing is enabled so the access path
+	// only calls into the balancer on actual hint faults (PGHinted set).
+	numabOn bool
+
+	// Previous cumulative promote/demote counts, for the per-tick deltas
+	// fold needs. Plain integers: non-record ticks allocate nothing.
+	prevPromote uint64
+	prevDemote  uint64
 }
 
 // New assembles a machine from the config.
@@ -200,6 +224,7 @@ func New(cfg Config) (*Machine, error) {
 		nb.ScanSizePages = int(cfg.Workload.TotalPages() / 32)
 	}
 	m.balancer = numab.New(nb, m.store, topo, m.vecs, m.stat, m.engine, m.as)
+	m.numabOn = nb.Enabled
 
 	if p.TMO != nil {
 		m.tmoctl = tmo.New(*p.TMO, topo, m.daemon, m.swapd)
@@ -218,9 +243,19 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	m.baseLat = topo.Traits(0).LoadLatency
+	m.nodeLat = make([]float64, topo.NumNodes())
+	m.nodeLocal = make([]bool, topo.NumNodes())
+	for i := 0; i < topo.NumNodes(); i++ {
+		m.nodeLat[i] = topo.Traits(mem.NodeID(i)).LoadLatency
+		m.nodeLocal[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindLocal
+	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
+	if ba, ok := m.wl.(workload.BatchAccessor); ok {
+		m.batch = ba
+		m.accessBuf = make([]pagetable.VPN, cfg.AccessesPerTick)
+		m.pfnBuf = make([]mem.PFN, cfg.AccessesPerTick)
+	}
 	m.wl.Start(m)
-	m.prevSnap = m.stat.Snapshot()
 	return m, nil
 }
 
@@ -252,62 +287,165 @@ func (m *Machine) access(v pagetable.VPN) {
 	if m.failed {
 		return
 	}
-	const minorFaultNs = 1000
-	var load, event float64
+	var event float64
 	pfn, ok := m.as.Translate(v)
 	if !ok {
-		// Fault path: these are per-page costs, amortized over the real
-		// access rate in the averages.
-		r, found := m.as.RegionOf(v)
-		if !found {
-			panic(fmt.Sprintf("sim: access outside any region: %d", v))
-		}
-		evict := m.as.Evicted(v)
-		res, err := m.allocator.AllocPage(r.Type, 0)
-		if err != nil {
-			m.fail("out of memory: " + err.Error())
+		pfn, event = m.fault(v)
+		if m.failed {
 			return
 		}
-		pfn = res.PFN
-		m.as.MapPage(v, pfn)
-		event += minorFaultNs + res.StallNs
-		m.cur.StallNs += res.StallNs
-		m.cur.AllocPages++
-		if m.topo.Node(res.Node).Kind == mem.KindLocal {
-			m.cur.AllocLocal++
-		}
-		switch evict {
-		case pagetable.EvictSwap:
-			// Major fault: the page comes back from the swap pool.
-			cost := m.swapd.PageIn()
-			event += cost
-			m.cur.StallNs += cost
-		case pagetable.EvictFile:
-			// Refault of a dropped file page: re-read from storage.
-			const refaultNs = 20_000
-			event += refaultNs
-			m.cur.StallNs += refaultNs
-		}
-		// Dirty-at-fault probability from the region's spec is applied by
-		// the workload indirectly: file pages written during warm-up are
-		// dirty. We model it with the region's page type: file pages
-		// faulted during the warm-up flood are dirtied below by the
-		// workload profile's DirtyProb; since the simulator does not see
-		// the spec here, dirtiness is set by a separate hook.
-		m.dirtyHook(pfn, r)
 	}
+	m.finishAccess(v, pfn, event)
+}
 
+// fault demand-faults v in, returning the new PFN and the per-page event
+// cost charged to the access. These are per-page costs, amortized over
+// the real access rate in the averages.
+func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
+	const minorFaultNs = 1000
+	var event float64
+	r, found := m.as.RegionOf(v)
+	if !found {
+		panic(fmt.Sprintf("sim: access outside any region: %d", v))
+	}
+	evict := m.as.Evicted(v)
+	res, err := m.allocator.AllocPage(r.Type, 0)
+	if err != nil {
+		m.fail("out of memory: " + err.Error())
+		return mem.NilPFN, 0
+	}
+	pfn := res.PFN
+	m.as.MapPage(v, pfn)
+	event += minorFaultNs + res.StallNs
+	m.cur.StallNs += res.StallNs
+	m.cur.AllocPages++
+	if m.topo.Node(res.Node).Kind == mem.KindLocal {
+		m.cur.AllocLocal++
+	}
+	switch evict {
+	case pagetable.EvictSwap:
+		// Major fault: the page comes back from the swap pool.
+		cost := m.swapd.PageIn()
+		event += cost
+		m.cur.StallNs += cost
+	case pagetable.EvictFile:
+		// Refault of a dropped file page: re-read from storage.
+		const refaultNs = 20_000
+		event += refaultNs
+		m.cur.StallNs += refaultNs
+	}
+	// Dirty-at-fault probability from the region's spec is applied by
+	// the workload indirectly: file pages written during warm-up are
+	// dirty. We model it with the region's page type: file pages
+	// faulted during the warm-up flood are dirtied below by the
+	// workload profile's DirtyProb; since the simulator does not see
+	// the spec here, dirtiness is set by a separate hook.
+	m.dirtyHook(pfn, r)
+	return pfn, event
+}
+
+// runAccessBatch charges one tick's access stream: translations resolve
+// in one batched pagetable call, resident page lines are pulled toward
+// the cache in a dedicated loop (independent loads overlap their misses),
+// and the charge loop is finishAccess fused inline — identical arithmetic
+// and update order per access, minus the per-access call frames. Pages
+// not resident at batch start (including ones faulted by an earlier
+// access of this same tick) take the full fault-aware access path.
+func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
+	pfns := m.pfnBuf[:len(vs)]
+	m.as.TranslateBatch(vs, pfns)
+	warm := m.warmSink
+	for _, pfn := range pfns {
+		if pfn != mem.NilPFN {
+			warm += uint64(m.store.Page(pfn).Flags)
+		}
+	}
+	m.warmSink = warm
+	const lruHot = mem.PGOnLRU | mem.PGReferenced | mem.PGActive
+	// Loop-invariant machine state in locals: calls inside the loop are
+	// rare, so the compiler can keep these in registers. Integer access
+	// counters accumulate locally (exact under reassociation, unlike the
+	// float latency sum, which keeps its per-access order).
+	store, nodeLat, nodeLocal := m.store, m.nodeLat, m.nodeLocal
+	numabOn, tick := m.numabOn, m.tick
+	var accesses, local uint64
+	// Batched translations are valid only while no page is unmapped. A
+	// fault below can trigger direct reclaim, which evicts (unmaps)
+	// pages whose PFNs are already in pfnBuf; the address-space
+	// generation counter detects that, and the rest of the batch falls
+	// back to the re-translating path — exactly the sequential
+	// semantics.
+	gen := m.as.Gen()
+	for i, v := range vs {
+		if m.as.Gen() != gen {
+			for _, rest := range vs[i:] {
+				m.access(rest)
+				if m.failed {
+					break
+				}
+			}
+			break
+		}
+		pfn := pfns[i]
+		if pfn == mem.NilPFN {
+			m.access(v)
+			if m.failed {
+				break
+			}
+			continue
+		}
+		// Fused finishAccess(v, pfn, 0) — keep the two in sync.
+		pg := store.Page(pfn)
+		load := nodeLat[pg.Node]
+		servedLocal := nodeLocal[pg.Node]
+		var event float64
+		if numabOn && pg.Flags.Has(mem.PGHinted) {
+			out := m.balancer.OnAccess(pfn, pg)
+			event = out.LatencyNs
+		}
+		// mark_page_accessed fast path: a page already active and
+		// referenced on its LRU list is a no-op in MarkAccessedPage.
+		if pg.Flags&lruHot != lruHot {
+			m.vecs[pg.Node].MarkAccessedPage(pfn, pg)
+		}
+		if m.atier != nil {
+			m.atier.RecordAccess(pfn)
+		}
+		if m.cham != nil {
+			m.cham.OnAccess(v)
+		}
+		pg.LastAccessTick = tick
+		accesses++
+		if servedLocal {
+			local++
+		}
+		m.cur.LatencySumNs += load
+		if event != 0 {
+			m.cur.EventNs += event
+		}
+	}
+	m.cur.Accesses += accesses
+	m.cur.LocalAccesses += local
+}
+
+// finishAccess charges one access against the resident page pfn; event
+// carries any fault cost already incurred for this access.
+func (m *Machine) finishAccess(v pagetable.VPN, pfn mem.PFN, event float64) {
 	pg := m.store.Page(pfn)
-	load += m.topo.Traits(pg.Node).LoadLatency
-	servedLocal := m.topo.Node(pg.Node).Kind == mem.KindLocal
+	load := m.nodeLat[pg.Node]
+	servedLocal := m.nodeLocal[pg.Node]
 
 	// NUMA-balancing hint fault and possible promotion: per-page event
-	// costs, paid once per hint regardless of access rate.
-	out := m.balancer.OnAccess(pfn)
-	event += out.LatencyNs
+	// costs, paid once per hint regardless of access rate. The PGHinted
+	// pre-check keeps the (overwhelmingly common) non-fault case out of
+	// the balancer entirely.
+	if m.numabOn && pg.Flags.Has(mem.PGHinted) {
+		out := m.balancer.OnAccess(pfn, pg)
+		event += out.LatencyNs
+	}
 
 	// LRU aging and AutoTiering frequency counting.
-	m.vecs[pg.Node].MarkAccessed(pfn)
+	m.vecs[pg.Node].MarkAccessedPage(pfn, pg)
 	if m.atier != nil {
 		m.atier.RecordAccess(pfn)
 	}
@@ -321,7 +459,9 @@ func (m *Machine) access(v pagetable.VPN) {
 		m.cur.LocalAccesses++
 	}
 	m.cur.LatencySumNs += load
-	m.cur.EventNs += event
+	if event != 0 {
+		m.cur.EventNs += event
+	}
 }
 
 // dirtyHook marks freshly faulted file pages dirty according to the
@@ -365,13 +505,21 @@ func (m *Machine) Step() {
 	// 1. Workload housekeeping (may Touch pages).
 	m.wl.Tick(m, m.tick)
 
-	// 2. Access stream.
-	for i := 0; i < m.cfg.AccessesPerTick && !m.failed; i++ {
-		v, ok := m.wl.NextAccess(m, m.tick)
-		if !ok {
-			break
+	// 2. Access stream. The batch path draws the whole tick's accesses in
+	// one call; a draw never observes machine state mutated by earlier
+	// accesses, and after a mid-tick failure the run is over, so the
+	// stream is identical to per-access draws.
+	if m.batch != nil {
+		n := m.batch.NextAccessBatch(m, m.tick, m.accessBuf)
+		m.runAccessBatch(m.accessBuf[:n])
+	} else {
+		for i := 0; i < m.cfg.AccessesPerTick && !m.failed; i++ {
+			v, ok := m.wl.NextAccess(m, m.tick)
+			if !ok {
+				break
+			}
+			m.access(v)
 		}
-		m.access(v)
 	}
 
 	// 3. Daemons.
@@ -396,13 +544,15 @@ func (m *Machine) Step() {
 	m.tick++
 }
 
-// fold updates series and counters at the end of a tick.
+// fold updates series and counters at the end of a tick. Only the two
+// promote/demote deltas are read per tick — directly from the indexed
+// vmstat registry, no snapshot — so non-record ticks allocate nothing.
 func (m *Machine) fold() {
-	snap := m.stat.Snapshot()
-	delta := snap.Delta(m.prevSnap)
-	m.prevSnap = snap
-	m.cur.PromotedPages = delta.Get(vmstat.PgpromoteSuccess)
-	m.cur.DemotedPages = delta.Get(vmstat.PgdemoteKswapd) + delta.Get(vmstat.PgdemoteDirect)
+	promote := m.stat.Get(vmstat.PgpromoteSuccess)
+	demote := m.stat.Get(vmstat.PgdemoteKswapd) + m.stat.Get(vmstat.PgdemoteDirect)
+	m.cur.PromotedPages = promote - m.prevPromote
+	m.cur.DemotedPages = demote - m.prevDemote
+	m.prevPromote, m.prevDemote = promote, demote
 
 	if m.tick%uint64(m.cfg.RecordEveryTicks) != 0 {
 		return

@@ -3,9 +3,13 @@
 // counts broken down by page type, promotion-failure reasons, NUMA hint
 // fault counts, and the PG_demoted ping-pong tracker.
 //
-// Counters are plain uint64s behind a registry; the simulator is
+// Counters are identified by a dense Counter enum and stored in a flat
+// array, so the hot-path increment is a single indexed add — no hashing,
+// no allocation. String names exist only at the reporting/serialization
+// edge (Counter.String, Snapshot.String). The simulator is
 // single-goroutine per machine, so no atomics are needed. Snapshots are
-// cheap copies used by experiments to diff event rates over intervals.
+// plain array values: copying, diffing, and comparing them never touches
+// the heap.
 package vmstat
 
 import (
@@ -17,108 +21,178 @@ import (
 // Counter names every event the simulator tracks. The names follow the
 // kernel's vmstat vocabulary where one exists (pgdemote_*, pgpromote_*,
 // numa_hint_faults) and extend it for simulator-specific events.
+type Counter uint8
+
 const (
 	// Demotion path (§5.1, §5.5).
-	PgdemoteKswapd  = "pgdemote_kswapd"   // pages demoted by background reclaim
-	PgdemoteDirect  = "pgdemote_direct"   // pages demoted in direct reclaim
-	PgdemoteAnon    = "pgdemote_anon"     // demoted pages that were anon
-	PgdemoteFile    = "pgdemote_file"     // demoted pages that were file-backed
-	PgdemoteFail    = "pgdemote_fail"     // demotion migrations that failed
-	PgdemoteFallbck = "pgdemote_fallback" // failed demotions that fell back to swap/drop
+	PgdemoteKswapd  Counter = iota // pages demoted by background reclaim
+	PgdemoteDirect                 // pages demoted in direct reclaim
+	PgdemoteAnon                   // demoted pages that were anon
+	PgdemoteFile                   // demoted pages that were file-backed
+	PgdemoteFail                   // demotion migrations that failed
+	PgdemoteFallbck                // failed demotions that fell back to swap/drop
 
 	// Promotion path (§5.3, §5.5).
-	PgpromoteSampled   = "pgpromote_sampled"   // hint-faulted pages considered
-	PgpromoteCandidate = "pgpromote_candidate" // pages that passed the promotion filter
-	PgpromoteSuccess   = "pgpromote_success"   // pages actually migrated up
-	PgpromoteAnon      = "pgpromote_anon"      // promoted pages that were anon
-	PgpromoteFile      = "pgpromote_file"      // promoted pages that were file-backed
-	PgpromoteDemoted   = "pgpromote_demoted"   // promoted pages with PG_demoted set (ping-pong)
+	PgpromoteSampled   // hint-faulted pages considered
+	PgpromoteCandidate // pages that passed the promotion filter
+	PgpromoteSuccess   // pages actually migrated up
+	PgpromoteAnon      // promoted pages that were anon
+	PgpromoteFile      // promoted pages that were file-backed
+	PgpromoteDemoted   // promoted pages with PG_demoted set (ping-pong)
 
 	// Promotion failure reasons (§5.5 "counters for each of the promotion
 	// failure scenario").
-	PromoteFailLowMem  = "promote_fail_low_memory"    // local node below min watermark
-	PromoteFailRefs    = "promote_fail_page_refs"     // abnormal page references
-	PromoteFailGlobal  = "promote_fail_system_memory" // system-wide low memory
-	PromoteFailIsolate = "promote_fail_isolate"       // could not isolate from LRU
+	PromoteFailLowMem  // local node below min watermark
+	PromoteFailRefs    // abnormal page references
+	PromoteFailGlobal  // system-wide low memory
+	PromoteFailIsolate // could not isolate from LRU
 
 	// NUMA Balancing (§5.3).
-	NumaHintFaults      = "numa_hint_faults"
-	NumaHintFaultsLocal = "numa_hint_faults_local"
-	NumaPagesScanned    = "numa_pages_scanned"
+	NumaHintFaults
+	NumaHintFaultsLocal
+	NumaPagesScanned
 
 	// Reclaim and swap.
-	PgscanKswapd   = "pgscan_kswapd"
-	PgscanDirect   = "pgscan_direct"
-	PgstealKswapd  = "pgsteal_kswapd"
-	PgstealDirect  = "pgsteal_direct"
-	PgactivateCt   = "pgactivate"
-	PgdeactivateCt = "pgdeactivate"
-	PswpOut        = "pswpout"
-	PswpIn         = "pswpin"
-	PgmajFault     = "pgmajfault"
-	PgRotated      = "pgrotated" // referenced pages given a second chance
+	PgscanKswapd
+	PgscanDirect
+	PgstealKswapd
+	PgstealDirect
+	PgactivateCt
+	PgdeactivateCt
+	PswpOut
+	PswpIn
+	PgmajFault
+	PgRotated // referenced pages given a second chance
 
 	// Allocation.
-	PgallocLocal = "pgalloc_local"
-	PgallocCXL   = "pgalloc_cxl"
-	PgallocStall = "allocstall" // direct-reclaim stalls on the alloc path
-	PgfreeCt     = "pgfree"
+	PgallocLocal
+	PgallocCXL
+	PgallocStall // direct-reclaim stalls on the alloc path
+	PgfreeCt
 
 	// Migration engine.
-	PgmigrateSuccess = "pgmigrate_success"
-	PgmigrateFail    = "pgmigrate_fail"
+	PgmigrateSuccess
+	PgmigrateFail
+
+	numCounters
 )
 
-// Stat is a mutable counter registry.
-type Stat struct {
-	counts map[string]uint64
+// NumCounters is the number of distinct counters.
+const NumCounters = int(numCounters)
+
+// names maps Counter values to their /proc/vmstat-style names. Used only
+// at the reporting edge.
+var names = [NumCounters]string{
+	PgdemoteKswapd:  "pgdemote_kswapd",
+	PgdemoteDirect:  "pgdemote_direct",
+	PgdemoteAnon:    "pgdemote_anon",
+	PgdemoteFile:    "pgdemote_file",
+	PgdemoteFail:    "pgdemote_fail",
+	PgdemoteFallbck: "pgdemote_fallback",
+
+	PgpromoteSampled:   "pgpromote_sampled",
+	PgpromoteCandidate: "pgpromote_candidate",
+	PgpromoteSuccess:   "pgpromote_success",
+	PgpromoteAnon:      "pgpromote_anon",
+	PgpromoteFile:      "pgpromote_file",
+	PgpromoteDemoted:   "pgpromote_demoted",
+
+	PromoteFailLowMem:  "promote_fail_low_memory",
+	PromoteFailRefs:    "promote_fail_page_refs",
+	PromoteFailGlobal:  "promote_fail_system_memory",
+	PromoteFailIsolate: "promote_fail_isolate",
+
+	NumaHintFaults:      "numa_hint_faults",
+	NumaHintFaultsLocal: "numa_hint_faults_local",
+	NumaPagesScanned:    "numa_pages_scanned",
+
+	PgscanKswapd:   "pgscan_kswapd",
+	PgscanDirect:   "pgscan_direct",
+	PgstealKswapd:  "pgsteal_kswapd",
+	PgstealDirect:  "pgsteal_direct",
+	PgactivateCt:   "pgactivate",
+	PgdeactivateCt: "pgdeactivate",
+	PswpOut:        "pswpout",
+	PswpIn:         "pswpin",
+	PgmajFault:     "pgmajfault",
+	PgRotated:      "pgrotated",
+
+	PgallocLocal: "pgalloc_local",
+	PgallocCXL:   "pgalloc_cxl",
+	PgallocStall: "allocstall",
+	PgfreeCt:     "pgfree",
+
+	PgmigrateSuccess: "pgmigrate_success",
+	PgmigrateFail:    "pgmigrate_fail",
 }
 
-// New returns an empty registry.
-func New() *Stat {
-	return &Stat{counts: make(map[string]uint64, 64)}
+// String returns the counter's /proc/vmstat-style name.
+func (c Counter) String() string {
+	if int(c) < NumCounters {
+		return names[c]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(c))
 }
 
-// Inc adds 1 to the named counter.
-func (s *Stat) Inc(name string) { s.counts[name]++ }
+// ByName resolves a counter name back to its enum value — the parsing
+// edge for tools that read serialized snapshots.
+func ByName(name string) (Counter, bool) {
+	for c, n := range names {
+		if n == name {
+			return Counter(c), true
+		}
+	}
+	return 0, false
+}
 
-// Add adds delta to the named counter.
-func (s *Stat) Add(name string, delta uint64) { s.counts[name] += delta }
-
-// Get returns the current value of the named counter (0 if never touched).
-func (s *Stat) Get(name string) uint64 { return s.counts[name] }
-
-// Snapshot returns an immutable copy of all counters.
-func (s *Stat) Snapshot() Snapshot {
-	out := make(Snapshot, len(s.counts))
-	for k, v := range s.counts {
-		out[k] = v
+// Counters returns every counter in enum order.
+func Counters() []Counter {
+	out := make([]Counter, NumCounters)
+	for i := range out {
+		out[i] = Counter(i)
 	}
 	return out
 }
 
-// Reset zeroes every counter.
-func (s *Stat) Reset() {
-	for k := range s.counts {
-		delete(s.counts, k)
-	}
+// Stat is a mutable counter registry: a flat array indexed by Counter.
+type Stat struct {
+	counts [NumCounters]uint64
 }
 
-// Snapshot is a point-in-time copy of the registry.
-type Snapshot map[string]uint64
+// New returns an empty registry.
+func New() *Stat {
+	return &Stat{}
+}
 
-// Get returns the value of the named counter (0 if absent).
-func (sn Snapshot) Get(name string) uint64 { return sn[name] }
+// Inc adds 1 to the counter.
+func (s *Stat) Inc(c Counter) { s.counts[c]++ }
 
-// Delta returns sn - prev per counter. Counters absent from prev are
-// treated as zero; counters that decreased (which should never happen)
-// clamp to zero rather than underflowing.
+// Add adds delta to the counter.
+func (s *Stat) Add(c Counter, delta uint64) { s.counts[c] += delta }
+
+// Get returns the current value of the counter.
+func (s *Stat) Get(c Counter) uint64 { return s.counts[c] }
+
+// Snapshot returns an immutable copy of all counters. The copy is a plain
+// array value: no heap allocation.
+func (s *Stat) Snapshot() Snapshot { return s.counts }
+
+// Reset zeroes every counter.
+func (s *Stat) Reset() { s.counts = [NumCounters]uint64{} }
+
+// Snapshot is a point-in-time copy of the registry, indexed by Counter.
+type Snapshot [NumCounters]uint64
+
+// Get returns the value of the counter.
+func (sn Snapshot) Get(c Counter) uint64 { return sn[c] }
+
+// Delta returns sn - prev per counter. Counters that decreased (which
+// should never happen) clamp to zero rather than underflowing.
 func (sn Snapshot) Delta(prev Snapshot) Snapshot {
-	out := make(Snapshot, len(sn))
-	for k, v := range sn {
-		p := prev[k]
-		if v >= p {
-			out[k] = v - p
+	var out Snapshot
+	for i, v := range sn {
+		if p := prev[i]; v >= p {
+			out[i] = v - p
 		}
 	}
 	return out
@@ -127,32 +201,23 @@ func (sn Snapshot) Delta(prev Snapshot) Snapshot {
 // String renders the snapshot in /proc/vmstat style: "name value" lines,
 // sorted by name, only non-zero counters.
 func (sn Snapshot) String() string {
-	keys := make([]string, 0, len(sn))
-	for k, v := range sn {
+	keys := make([]string, 0, NumCounters)
+	vals := make(map[string]uint64, NumCounters)
+	for c, v := range sn {
 		if v != 0 {
-			keys = append(keys, k)
+			n := Counter(c).String()
+			keys = append(keys, n)
+			vals[n] = v
 		}
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%s %d\n", k, sn[k])
+		fmt.Fprintf(&b, "%s %d\n", k, vals[k])
 	}
 	return b.String()
 }
 
-// Equal reports whether two snapshots hold identical non-zero counters.
+// Equal reports whether two snapshots hold identical counters.
 // Used by determinism tests.
-func (sn Snapshot) Equal(other Snapshot) bool {
-	for k, v := range sn {
-		if v != 0 && other[k] != v {
-			return false
-		}
-	}
-	for k, v := range other {
-		if v != 0 && sn[k] != v {
-			return false
-		}
-	}
-	return true
-}
+func (sn Snapshot) Equal(other Snapshot) bool { return sn == other }

@@ -107,12 +107,46 @@ func TestEqualIgnoresExplicitZeros(t *testing.T) {
 	}
 }
 
+func TestCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Counters() {
+		n := c.String()
+		if n == "" || strings.HasPrefix(n, "counter(") {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+		back, ok := ByName(n)
+		if !ok || back != c {
+			t.Fatalf("ByName(%q) = %v,%v, want %v", n, back, ok, c)
+		}
+	}
+	if _, ok := ByName("no_such_counter"); ok {
+		t.Fatal("ByName resolved a bogus name")
+	}
+}
+
+// BenchmarkVmstatInc measures the hot-path counter increment: with the
+// array-backed registry this must be a plain indexed add.
+func BenchmarkVmstatInc(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Inc(NumaHintFaults)
+	}
+	if s.Get(NumaHintFaults) == 0 {
+		b.Fatal("counter not incremented")
+	}
+}
+
 // Property: for any sequence of Adds, Snapshot().Delta(empty) equals the
 // snapshot itself, and delta of a snapshot with itself is all-zero.
 func TestDeltaProperties(t *testing.T) {
 	f := func(vals []uint8) bool {
 		s := New()
-		names := []string{PgdemoteAnon, PgdemoteFile, PgpromoteAnon}
+		names := []Counter{PgdemoteAnon, PgdemoteFile, PgpromoteAnon}
 		for i, v := range vals {
 			s.Add(names[i%len(names)], uint64(v))
 		}

@@ -17,6 +17,8 @@
 package workload
 
 import (
+	"math/bits"
+
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
@@ -66,6 +68,17 @@ type Workload interface {
 // so a silently-stalled workload cannot masquerade as a healthy result.
 type ErrorReporter interface {
 	WorkloadErr() error
+}
+
+// BatchAccessor is an optional Workload extension: draw up to len(buf)
+// accesses in one call instead of one interface dispatch per access.
+// The draws must be identical to len(buf) consecutive NextAccess calls
+// at the same tick, stopping at the first !ok (the return value is the
+// number of accesses written). The simulator uses it on the hot path
+// when available; workloads whose draws depend on machine state mutated
+// by earlier accesses in the same tick must not implement it.
+type BatchAccessor interface {
+	NextAccessBatch(ctx Ctx, tick uint64, buf []pagetable.VPN) int
 }
 
 // DirtyModel is an optional Workload extension: the probability that a
@@ -141,22 +154,58 @@ type Profile struct {
 	// consumes free memory (the §6.1.1 init flood "fills up the local
 	// node"), and reclaim is expected to push it back out.
 	WSS          uint64
-	regions      []*regionState
+	regions      []regionState
 	picker       *xrand.Weighted
 	warmupPicker *xrand.Weighted
+	rng          *xrand.RNG // cached from Ctx at Start
 }
 
+// Draw-kind discriminants, precomputed so the per-access draw never reads
+// the cold spec struct.
+const (
+	drawUniform = iota
+	drawHot
+	drawZipf
+	drawChurn
+)
+
 type regionState struct {
-	spec    RegionSpec
+	// Hot fields first: the per-access draw touches only these (plus
+	// segments/segPages for churn regions), so they share the leading
+	// cache lines instead of sitting behind the large spec.
+	kind      uint8            // drawUniform/drawHot/drawZipf/drawChurn
+	hotWeight float64          // spec.HotWeight copy for drawHot
+	bias      float64          // spec.RecencyBias copy for drawChurn
+	grown     uint64           // accessible prefix (pages)
+	hot       uint64           // cached hot-set size for the current grown
+	region    pagetable.Region // static regions
+	// scatter is the precomputed rank→page permutation
+	// (idx*scatterPrime mod Pages) for static regions, so the per-access
+	// offset draw avoids a 64-bit multiply+divide. nil for churn regions
+	// and regions too large to table.
+	scatter []uint32
 	zipf    *xrand.Zipf
-	grown   uint64           // accessible prefix (pages)
-	region  pagetable.Region // static regions
-	growAcc float64          // fractional-growth accumulator
 	// Churn state: ring of segments, newest last.
-	segments       []pagetable.Region
-	segPages       uint64
+	segments []pagetable.Region
+	segPages uint64
+
+	spec           RegionSpec
+	growAcc        float64 // fractional-growth accumulator
 	churnTick      uint64
 	prefaultCursor uint64
+}
+
+// setGrown updates the accessible prefix and the cached hot-set size
+// derived from it (same arithmetic the offset draw used to do per access).
+func (rs *regionState) setGrown(g uint64) {
+	rs.grown = g
+	if rs.spec.HotFraction > 0 {
+		hot := uint64(rs.spec.HotFraction * float64(g))
+		if hot < 1 {
+			hot = 1
+		}
+		rs.hot = hot
+	}
 }
 
 var _ Workload = (*Profile)(nil)
@@ -201,11 +250,22 @@ func (p *Profile) DirtyProb(r pagetable.Region) float64 {
 // Start implements Workload: mmap every region and initialize samplers.
 func (p *Profile) Start(ctx Ctx) {
 	rng := ctx.RNG()
+	p.rng = rng
 	p.regions = p.regions[:0]
 	steady := make([]float64, len(p.Specs))
 	warm := make([]float64, len(p.Specs))
 	for i, spec := range p.Specs {
-		rs := &regionState{spec: spec}
+		rs := regionState{spec: spec, hotWeight: spec.HotWeight, bias: spec.RecencyBias}
+		switch {
+		case spec.ChurnSegments > 0:
+			rs.kind = drawChurn
+		case spec.HotFraction > 0:
+			rs.kind = drawHot
+		case spec.ZipfS > 0:
+			rs.kind = drawZipf
+		default:
+			rs.kind = drawUniform
+		}
 		if spec.ZipfS > 0 {
 			// Zipf over a bounded rank space to keep setup cheap; ranks
 			// map onto the grown prefix by modulo.
@@ -223,13 +283,19 @@ func (p *Profile) Start(ctx Ctx) {
 			for s := 0; s < spec.ChurnSegments; s++ {
 				rs.segments = append(rs.segments, ctx.Mmap(rs.segPages, spec.Type))
 			}
-			rs.grown = spec.Pages
+			rs.setGrown(spec.Pages)
 		} else {
 			rs.region = ctx.Mmap(spec.Pages, spec.Type)
 			if spec.GrowthPerTick > 0 || spec.PrefaultPerTick > 0 {
-				rs.grown = 0
+				rs.setGrown(0)
 			} else {
-				rs.grown = spec.Pages
+				rs.setGrown(spec.Pages)
+			}
+			if spec.Pages <= 1<<22 {
+				rs.scatter = make([]uint32, spec.Pages)
+				for idx := uint64(0); idx < spec.Pages; idx++ {
+					rs.scatter[idx] = uint32((idx * scatterPrime) % spec.Pages)
+				}
 			}
 		}
 		p.regions = append(p.regions, rs)
@@ -246,7 +312,8 @@ func (p *Profile) Start(ctx Ctx) {
 // Tick implements Workload: warm-up flooding, growth, and churn.
 func (p *Profile) Tick(ctx Ctx, tick uint64) {
 	rng := ctx.RNG()
-	for _, rs := range p.regions {
+	for ri := range p.regions {
+		rs := &p.regions[ri]
 		spec := rs.spec
 		// Warm-up flood: sequentially touch (and thereby fault) pages.
 		if tick < p.Warmup && spec.PrefaultPerTick > 0 && rs.prefaultCursor < spec.Pages {
@@ -259,7 +326,7 @@ func (p *Profile) Tick(ctx Ctx, tick uint64) {
 			}
 			rs.prefaultCursor = end
 			if rs.grown < end {
-				rs.grown = end
+				rs.setGrown(end)
 			}
 		}
 		// Post-warm-up growth of the accessible prefix. Fractional rates
@@ -269,10 +336,11 @@ func (p *Profile) Tick(ctx Ctx, tick uint64) {
 			rs.growAcc += spec.GrowthPerTick
 			if whole := uint64(rs.growAcc); whole > 0 {
 				rs.growAcc -= float64(whole)
-				rs.grown += whole
-				if rs.grown > spec.Pages {
-					rs.grown = spec.Pages
+				g := rs.grown + whole
+				if g > spec.Pages {
+					g = spec.Pages
 				}
+				rs.setGrown(g)
 			}
 		}
 		// Churn: recycle the oldest segment on period (with bursts).
@@ -310,17 +378,144 @@ func (p *Profile) Tick(ctx Ctx, tick uint64) {
 
 // NextAccess implements Workload.
 func (p *Profile) NextAccess(ctx Ctx, tick uint64) (pagetable.VPN, bool) {
-	rng := ctx.RNG()
+	warm := tick < p.Warmup
 	picker := p.picker
-	if tick < p.Warmup {
+	if warm {
 		picker = p.warmupPicker
 	}
+	return p.draw(picker.RNG(), picker.CDF(), warm)
+}
+
+// u64nRaw is RNG.Uint64n over raw state words (identical draws), so
+// batch loops pass state in registers instead of through memory.
+func u64nRaw(n, s0, s1, s2, s3 uint64) (out, t0, t1, t2, t3 uint64) {
+	if n&(n-1) == 0 {
+		v, a, b, c, d := xrand.Step(s0, s1, s2, s3)
+		return v & (n - 1), a, b, c, d
+	}
+	for {
+		v, a, b, c, d := xrand.Step(s0, s1, s2, s3)
+		s0, s1, s2, s3 = a, b, c, d
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi, s0, s1, s2, s3
+		}
+	}
+}
+
+// NextAccessBatch implements BatchAccessor: the whole draw pipeline of
+// NextAccess fused into one loop, with the picker's CDF resolved once
+// and both RNG streams' state words held in locals — thousands of draws
+// without touching generator memory. Draw-for-draw identical to calling
+// NextAccess len(buf) times.
+func (p *Profile) NextAccessBatch(ctx Ctx, tick uint64, buf []pagetable.VPN) int {
+	warm := tick < p.Warmup
+	picker := p.picker
+	if warm {
+		picker = p.warmupPicker
+	}
+	prng, wrng := picker.RNG(), p.rng
+	cdf := picker.CDF()
+	p0, p1, p2, p3 := prng.State()
+	w0, w1, w2, w3 := wrng.State()
+	n := 0
+fill:
+	for n < len(buf) {
+		for attempt := 0; ; attempt++ {
+			if attempt == 4 {
+				break fill
+			}
+			var pu uint64
+			pu, p0, p1, p2, p3 = xrand.Step(p0, p1, p2, p3)
+			rs := &p.regions[xrand.SearchCDF(cdf, float64(pu>>11)/(1<<53))]
+			if rs.kind == drawChurn {
+				// churnAccess, fused.
+				segn := len(rs.segments)
+				var idx int
+				if rs.bias <= 0 {
+					var r uint64
+					r, w0, w1, w2, w3 = u64nRaw(uint64(segn), w0, w1, w2, w3)
+					idx = int(r)
+				} else {
+					idx = segn - 1
+					if rs.bias < 1 {
+						for idx > 0 {
+							var v uint64
+							v, w0, w1, w2, w3 = xrand.Step(w0, w1, w2, w3)
+							if float64(v>>11)/(1<<53) < rs.bias {
+								break
+							}
+							idx--
+						}
+					}
+				}
+				var so uint64
+				so, w0, w1, w2, w3 = u64nRaw(rs.segPages, w0, w1, w2, w3)
+				buf[n] = rs.segments[idx].Start + pagetable.VPN(so)
+				n++
+				continue fill
+			}
+			if rs.grown == 0 {
+				continue
+			}
+			var off uint64
+			if warm {
+				// Warm-up: uniform over the populated prefix, no scatter.
+				off, w0, w1, w2, w3 = u64nRaw(rs.grown, w0, w1, w2, w3)
+			} else {
+				// offset(), fused: rank draw then scatter permutation.
+				var idx uint64
+				switch rs.kind {
+				case drawHot:
+					hot := rs.hot
+					hotHit := rs.hotWeight >= 1
+					if w := rs.hotWeight; w > 0 && w < 1 {
+						var v uint64
+						v, w0, w1, w2, w3 = xrand.Step(w0, w1, w2, w3)
+						hotHit = float64(v>>11)/(1<<53) < w
+					}
+					if hotHit || hot >= rs.grown {
+						idx, w0, w1, w2, w3 = u64nRaw(hot, w0, w1, w2, w3)
+					} else {
+						idx, w0, w1, w2, w3 = u64nRaw(rs.grown-hot, w0, w1, w2, w3)
+						idx += hot
+					}
+				case drawZipf:
+					idx = uint64(rs.zipf.Next()) // zipf's own stream
+					if idx >= rs.grown {
+						idx %= rs.grown
+					}
+				default:
+					idx, w0, w1, w2, w3 = u64nRaw(rs.grown, w0, w1, w2, w3)
+				}
+				if rs.scatter != nil {
+					off = uint64(rs.scatter[idx])
+				} else {
+					off = (idx * scatterPrime) % rs.spec.Pages
+				}
+			}
+			buf[n] = rs.region.Start + pagetable.VPN(off)
+			n++
+			continue fill
+		}
+	}
+	prng.SetState(p0, p1, p2, p3)
+	wrng.SetState(w0, w1, w2, w3)
+	return n
+}
+
+// draw produces one access from the current distribution. prng/cdf are
+// the region picker's private stream and CDF; the inline inverse-CDF
+// draw is identical to Weighted.Next. Offsets draw from the workload's
+// own stream, as before.
+func (p *Profile) draw(prng *xrand.RNG, cdf []float64, warm bool) (pagetable.VPN, bool) {
+	rng := p.rng
 	// A few rejection rounds in case the chosen region has nothing
 	// accessible yet (pre-growth).
-	warm := tick < p.Warmup
 	for attempt := 0; attempt < 4; attempt++ {
-		rs := p.regions[picker.Next()]
-		if rs.spec.ChurnSegments > 0 {
+		u := float64(prng.Uint64()>>11) / (1 << 53)
+		rs := &p.regions[xrand.SearchCDF(cdf, u)]
+		if rs.kind == drawChurn {
 			return rs.churnAccess(rng), true
 		}
 		if rs.grown == 0 {
@@ -358,21 +553,30 @@ const scatterPrime = 1000000007
 // region grows.
 func (rs *regionState) offset(rng *xrand.RNG) uint64 {
 	var idx uint64
-	switch {
-	case rs.spec.HotFraction > 0:
-		hot := uint64(rs.spec.HotFraction * float64(rs.grown))
-		if hot < 1 {
-			hot = 1
+	switch rs.kind {
+	case drawHot:
+		// Inline rng.Bool(hotWeight) — including its no-draw guards for
+		// degenerate weights — so the hot path stays call-free.
+		hot := rs.hot
+		hotHit := rs.hotWeight >= 1
+		if w := rs.hotWeight; w > 0 && w < 1 {
+			hotHit = float64(rng.Uint64()>>11)/(1<<53) < w
 		}
-		if rng.Bool(rs.spec.HotWeight) || hot >= rs.grown {
+		if hotHit || hot >= rs.grown {
 			idx = rng.Uint64n(hot)
 		} else {
 			idx = hot + rng.Uint64n(rs.grown-hot)
 		}
-	case rs.zipf != nil:
-		idx = uint64(rs.zipf.Next()) % rs.grown
+	case drawZipf:
+		idx = uint64(rs.zipf.Next())
+		if idx >= rs.grown {
+			idx %= rs.grown
+		}
 	default:
 		idx = rng.Uint64n(rs.grown)
+	}
+	if rs.scatter != nil {
+		return uint64(rs.scatter[idx])
 	}
 	return (idx * scatterPrime) % rs.spec.Pages
 }
@@ -381,14 +585,14 @@ func (rs *regionState) offset(rng *xrand.RNG) uint64 {
 func (rs *regionState) churnAccess(rng *xrand.RNG) pagetable.VPN {
 	n := len(rs.segments)
 	var idx int
-	if rs.spec.RecencyBias <= 0 {
+	if rs.bias <= 0 {
 		idx = rng.Intn(n)
 	} else {
 		// Geometric walk from the newest end: each step stops with
 		// probability RecencyBias, so higher bias concentrates accesses
 		// on recently allocated segments.
 		idx = n - 1
-		for idx > 0 && !rng.Bool(rs.spec.RecencyBias) {
+		for idx > 0 && !rng.Bool(rs.bias) {
 			idx--
 		}
 	}

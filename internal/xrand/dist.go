@@ -1,18 +1,56 @@
 package xrand
 
-import (
-	"math"
-	"sort"
-)
+import "math"
+
+// searchCDF returns the smallest i with cdf[i] >= u — exactly
+// sort.SearchFloat64s, hand-rolled so the sampler hot path avoids the
+// closure call per probe. cdf[len-1] is pinned to 1, so u in [0,1) always
+// resolves in range.
+func searchCDF(cdf []float64, u float64) int {
+	return searchCDFRange(cdf, u, 0, len(cdf))
+}
+
+// searchCDFRange is searchCDF restricted to [lo, hi) (the answer must lie
+// in that range). Wide ranges binary-search; the final few entries use a
+// branch-predictable linear count (the prefix of entries < u), which the
+// compiler lowers to conditional moves — binary-search probes on random u
+// are guaranteed mispredicts.
+func searchCDFRange(cdf []float64, u float64, lo, hi int) int {
+	for hi-lo > 8 {
+		mid := int(uint(lo+hi) >> 1)
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, c := range cdf[lo:hi] {
+		// Branchless count of entries < u: for finite IEEE values c-u is
+		// negative exactly when c < u (a nonzero difference never rounds
+		// to zero), so the sign bit is the predicate. A compare-branch
+		// here mispredicts ~50% against random u and dominates the draw.
+		lo += int(math.Float64bits(c-u) >> 63)
+	}
+	return lo
+}
 
 // Zipf samples integers in [0, n) with probability proportional to
 // 1/(i+1)^s. It precomputes the CDF so sampling is O(log n); this trades
 // memory for speed and determinism, which suits the simulator's fixed-size
-// hot sets.
+// hot sets. Large supports additionally carry a guide table that maps a
+// uniform draw to a narrow CDF range, so the common case resolves with a
+// couple of probes instead of a full-width binary search. The guide is a
+// pure accelerator: samples are identical with or without it.
 type Zipf struct {
-	cdf []float64
-	rng *RNG
+	cdf   []float64
+	guide []int32 // len zipfGuideSize+1; nil for small supports
+	rng   *RNG
 }
+
+// zipfGuideSize buckets the unit interval for the guide table. A power of
+// two, so u*zipfGuideSize is exact and floor(u*G) identifies u's bucket
+// without rounding hazards.
+const zipfGuideSize = 1024
 
 // NewZipf returns a Zipf sampler over [0, n) with exponent s >= 0.
 // s == 0 degenerates to the uniform distribution.
@@ -31,6 +69,12 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 		z.cdf[i] *= inv
 	}
 	z.cdf[n-1] = 1 // guard against rounding
+	if n > 128 {
+		z.guide = make([]int32, zipfGuideSize+1)
+		for k := 1; k <= zipfGuideSize; k++ {
+			z.guide[k] = int32(searchCDF(z.cdf, float64(k)/zipfGuideSize))
+		}
+	}
 	return z
 }
 
@@ -39,8 +83,15 @@ func (z *Zipf) N() int { return len(z.cdf) }
 
 // Next returns the next sample in [0, N()).
 func (z *Zipf) Next() int {
-	u := z.rng.Float64()
-	return sort.SearchFloat64s(z.cdf, u)
+	// Inline uniform draw (== rng.Float64); keeps the sampler call-free.
+	u := float64(z.rng.Uint64()>>11) / (1 << 53)
+	if z.guide == nil {
+		return searchCDF(z.cdf, u)
+	}
+	// u lies in guide bucket k, so the answer (smallest i with
+	// cdf[i] >= u) is bounded by the bucket's precomputed CDF range.
+	k := int(u * zipfGuideSize)
+	return searchCDFRange(z.cdf, u, int(z.guide[k]), int(z.guide[k+1]))
 }
 
 // Weighted samples an index in [0, len(weights)) with probability
@@ -101,9 +152,28 @@ func (w *Weighted) Next() int {
 	if w.dirty {
 		w.rebuild()
 	}
-	u := w.rng.Float64()
-	return sort.SearchFloat64s(w.cdf, u)
+	u := float64(w.rng.Uint64()>>11) / (1 << 53)
+	return searchCDF(w.cdf, u)
 }
+
+// CDF returns the sampler's cumulative distribution (rebuilding it if
+// weights changed). The slice is owned by the sampler and valid until
+// the next SetWeight. Together with SearchCDF and RNG it lets batch
+// loops inline the draw that Next performs.
+func (w *Weighted) CDF() []float64 {
+	if w.dirty {
+		w.rebuild()
+	}
+	return w.cdf
+}
+
+// RNG returns the sampler's private random stream — the one Next draws
+// from. Inlined batch draws must use it, not the caller's stream.
+func (w *Weighted) RNG() *RNG { return w.rng }
+
+// SearchCDF returns the smallest i with cdf[i] >= u — the inverse-CDF
+// lookup Next and Zipf.Next perform, exported for inlined batch draws.
+func SearchCDF(cdf []float64, u float64) int { return searchCDF(cdf, u) }
 
 // Pareto samples from a bounded Pareto distribution on [lo, hi] with shape
 // alpha. Used for object-size and lifetime draws in the workload

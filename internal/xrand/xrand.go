@@ -8,7 +8,10 @@
 // is stable across Go releases.
 package xrand
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
@@ -54,6 +57,31 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+// State exposes the generator's four state words and SetState restores
+// them. Together with Step they let batch loops keep a stream's state in
+// registers across thousands of draws instead of paying eight memory
+// operations per draw; the stream is identical to calling Uint64.
+func (r *RNG) State() (s0, s1, s2, s3 uint64) { return r.s0, r.s1, r.s2, r.s3 }
+
+// SetState restores state words previously obtained from State (after
+// advancing them with Step).
+func (r *RNG) SetState(s0, s1, s2, s3 uint64) { r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3 }
+
+// Step advances a raw xoshiro256** state by one draw. It is a pure
+// function of the state words, so it inlines everywhere and the state
+// stays in registers.
+func Step(s0, s1, s2, s3 uint64) (out, t0, t1, t2, t3 uint64) {
+	out = rotl(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	return out, s0, s1, s2, s3
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
@@ -82,16 +110,10 @@ func (r *RNG) Uint64n(n uint64) uint64 {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo); bits.Mul64
+// compiles to a single widening multiply.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	lo1 := t&mask32 + a0*b1
-	hi = a1*b1 + t>>32 + lo1>>32
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Float64 returns a uniform float64 in [0, 1).
@@ -99,7 +121,9 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Bool returns true with probability p.
+// Bool returns true with probability p. The uniform draw is written out
+// inline (identical arithmetic to Float64) so the whole predicate inlines
+// into sampler hot paths; Float64 itself is over the inlining budget.
 func (r *RNG) Bool(p float64) bool {
 	if p <= 0 {
 		return false
@@ -107,7 +131,7 @@ func (r *RNG) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return r.Float64() < p
+	return float64(r.Uint64()>>11)/(1<<53) < p
 }
 
 // Norm returns a normally distributed float64 with mean mu and standard
