@@ -8,6 +8,7 @@
 //	tppsim -workload Web1 -policy tpp -ratio 2:1 -minutes 60
 //	tppsim -workload Cache1 -policy default -ratio 1:4 -vmstat
 //	tppsim -workload Cache2 -policy all -ratio 2:1
+//	tppsim -workload Cache2 -policy tpp -topology expander -vmstat
 //	tppsim -list
 //
 // Record/replay: -record captures the run's access trace to a file
@@ -29,6 +30,7 @@ import (
 	"tppsim/internal/core"
 	"tppsim/internal/metrics"
 	"tppsim/internal/sim"
+	"tppsim/internal/tier"
 	"tppsim/internal/trace"
 	"tppsim/internal/workload"
 )
@@ -38,6 +40,8 @@ func main() {
 		wlName   = flag.String("workload", "Cache1", "workload: "+strings.Join(workload.Names(), ", "))
 		policy   = flag.String("policy", "tpp", "policy: default, tpp, numab, autotiering, tmo, tpp+tmo, all")
 		ratio    = flag.String("ratio", "2:1", "local:CXL capacity ratio, or 1:0 for the all-local baseline")
+		topoName = flag.String("topology", "", "machine topology preset: "+strings.Join(tier.PresetNames(), ", ")+
+			" (default: the 2-node cxl box sized by -ratio)")
 		minutes  = flag.Int("minutes", 60, "simulated minutes")
 		pages    = flag.Uint64("pages", workload.DefaultTotalPages, "working-set size in 4KB pages")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -62,6 +66,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -ratio %q (want e.g. 2:1)\n", *ratio)
 		os.Exit(2)
 	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var topo tier.Spec
+	if *topoName != "" {
+		spec, ok := tier.Preset(*topoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -topology %q; have %s\n", *topoName, strings.Join(tier.PresetNames(), ", "))
+			os.Exit(2)
+		}
+		if *topoName == tier.PresetNameCXL {
+			spec = tier.PresetCXL(r0, r1)
+		} else if set["ratio"] {
+			fmt.Fprintf(os.Stderr, "-ratio only applies to the cxl preset; %s has fixed shares\n", *topoName)
+			os.Exit(2)
+		}
+		topo = spec
+	}
 
 	policies, err := selectPolicies(*policy)
 	if err != nil {
@@ -76,8 +98,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-record and -replay are mutually exclusive")
 		os.Exit(2)
 	}
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *replayF != "" && (set["workload"] || set["pages"]) {
 		fmt.Fprintln(os.Stderr, "-replay drives the machine from the trace; -workload/-pages would be ignored")
 		os.Exit(2)
@@ -98,6 +118,11 @@ func main() {
 		traceMin := (tr.Ticks() + workload.TicksPerMinute - 1) / workload.TicksPerMinute
 		fmt.Printf("replaying %s: workload=%s pages=%d %d min (%d KB encoded)\n",
 			*replayF, h.Name, h.TotalPages, traceMin, tr.Size()/1024)
+		if len(topo.Nodes) == 0 && !set["ratio"] && h.Topology != nil {
+			// No explicit sizing: rebuild the recorded machine.
+			topo = *h.Topology
+			fmt.Printf("  machine from trace: %s (%d nodes)\n", topo.Name, len(topo.Nodes))
+		}
 		if !set["minutes"] && uint64(*minutes) > traceMin {
 			// Without an explicit -minutes, replay exactly the trace.
 			*minutes = int(traceMin)
@@ -117,9 +142,13 @@ func main() {
 		cfg := sim.Config{
 			Seed:     *seed,
 			Policy:   p,
-			Ratio:    [2]uint64{r0, r1},
 			Minutes:  *minutes,
 			RecordTo: *recordTo,
+		}
+		if len(topo.Nodes) > 0 {
+			cfg.Topology = topo
+		} else {
+			cfg.Ratio = [2]uint64{r0, r1}
 		}
 		if tr != nil {
 			cfg.Workload = tr.Replayer(trace.ReplayOptions{Loop: *loop})

@@ -192,12 +192,13 @@ func (t *Tiering) epoch() float64 {
 		freq uint32
 	}
 	var cands []cand
+	var pfns []mem.PFN
 	vec := t.vecs[local.ID]
 	for id := lru.ListID(0); id < lru.ListID(lru.NumLists); id++ {
-		vec.ScanTail(id, int(vec.Size(id)), func(pfn mem.PFN) bool {
+		pfns = vec.TailBatch(id, int(vec.Size(id)), pfns[:0])
+		for _, pfn := range pfns {
 			cands = append(cands, cand{pfn, t.store.Page(pfn).AccessEpoch})
-			return true
-		})
+		}
 	}
 	spent += float64(len(cands)) * rankNsPerPage
 

@@ -115,7 +115,9 @@ func Fig16(o Options) Result {
 	var defLat, tppLat, defLoss, tppLoss metrics.Series
 	defLat.Name, tppLat.Name, defLoss.Name, tppLoss.Name = "default_dlat", "tpp_dlat", "default_loss", "tpp_loss"
 	for _, lat := range []float64{220, 240, 260, 280, 300} {
-		mut := func(c *sim.Config) { c.CXLLatencyNs = lat }
+		// Per-node override on node 1, the CXL node — the same sweep
+		// works on any topology by overriding the node under study.
+		mut := func(c *sim.Config) { c.NodeLatencyNs = []float64{0, lat} }
 		_, def := run(o, core.DefaultLinux(), "Cache2", [2]uint64{2, 1}, mut)
 		_, tpp := run(o, core.TPP(), "Cache2", [2]uint64{2, 1}, mut)
 		dl := def.AvgLatencyNs - 100

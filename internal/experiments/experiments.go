@@ -91,6 +91,7 @@ func Registry() []Spec {
 		{"X1", "Active-LRU ablation scalars (§6.2)", X1},
 		{"X2", "Reclaim speed: migration vs default reclaim (§5.1)", X2},
 		{"X3", "Steady-state migration bandwidth (§7)", X3},
+		{"MT1", "Throughput vs memory-tier depth (multi-hop expander)", MT1},
 	}
 }
 

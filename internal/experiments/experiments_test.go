@@ -13,8 +13,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 		}
 		seen[s.ID] = true
 	}
-	if len(seen) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(seen))
+	if len(seen) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(seen))
 	}
 }
 
@@ -93,5 +93,18 @@ func TestQuickEndToEnd(t *testing.T) {
 	}
 	if _, ok := res.Series["latency"]; !ok {
 		t.Fatal("Fig16 missing latency series")
+	}
+
+	res = MT1(Options{Pages: 8 * 1024, Minutes: 15})
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("MT1 rows = %d", len(res.Table.Rows))
+	}
+	// The expander row must show live cascade traffic under TPP.
+	far := res.Table.Rows[2]
+	if far[3] == "0" || far[4] == "0" {
+		t.Fatalf("MT1 expander row shows no far-tier traffic: %v", far)
+	}
+	if _, ok := res.Series["throughput"]; !ok {
+		t.Fatal("MT1 missing throughput series")
 	}
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tppsim/internal/core"
+	"tppsim/internal/metrics"
+	"tppsim/internal/report"
+	"tppsim/internal/sim"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/workload"
+)
+
+// runTopo executes one scenario on an explicit topology spec.
+func runTopo(o Options, policy core.Policy, wlName string, spec tier.Spec) (*sim.Machine, *metrics.Run) {
+	m, err := sim.New(sim.Config{
+		Seed:     o.Seed,
+		Policy:   policy,
+		Workload: workload.Catalog[wlName](o.Pages),
+		Topology: spec,
+		Minutes:  o.Minutes,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return m, m.Run()
+}
+
+// MT1 measures throughput against memory-tier depth: the same workload
+// and total capacity headroom on an all-local machine (depth 1), the
+// paper's 2-node CXL box (depth 2), and the 3-tier multi-hop expander
+// (depth 3), under Default Linux and TPP. The expander rows also report
+// the cascade traffic: demotions into and promotions out of the far
+// tier, which only a topology-aware mechanism generates.
+func MT1(o Options) Result {
+	o = o.withDefaults()
+	t := &report.Table{
+		Title: "MT1 — Cache2 throughput vs memory-tier depth",
+		Columns: []string{"topology (depth)", "Default Linux", "TPP",
+			"TPP demote far", "TPP promote far"},
+	}
+	depths := []struct {
+		label string
+		spec  tier.Spec
+	}{
+		{"all-local (1)", tier.PresetCXL(1, 0)},
+		{"cxl 2:1 (2)", tier.PresetCXL(2, 1)},
+		{"expander 2:1:1 (3)", tier.PresetExpander(2, 1, 1)},
+	}
+	var defTput, tppTput metrics.Series
+	defTput.Name, tppTput.Name = "default", "tpp"
+	for i, d := range depths {
+		_, def := runTopo(o, core.DefaultLinux(), "Cache2", d.spec)
+		tm, tpp := runTopo(o, core.TPP(), "Cache2", d.spec)
+		depth := float64(i + 1)
+		defTput.Append(depth, def.NormalizedThroughput)
+		tppTput.Append(depth, tpp.NormalizedThroughput)
+		far := tm.Stat()
+		t.AddRow(d.label,
+			cellTput(def), cellTput(tpp),
+			fmt.Sprintf("%d", far.Get(vmstat.PgdemoteFar)),
+			fmt.Sprintf("%d", far.Get(vmstat.PgpromoteFar)))
+	}
+	t.AddNote("TPP holds throughput as tiers deepen; Default strands hot pages wherever the flood left them")
+	return Result{
+		ID: "MT1", Caption: "Throughput vs tier depth", Table: t,
+		Series: map[string]string{"throughput": report.SeriesCSV("tier_depth", &defTput, &tppTput)},
+	}
+}
+
+func cellTput(r *metrics.Run) string {
+	if r.Failed {
+		return "Fails"
+	}
+	return report.F1(100 * r.NormalizedThroughput)
+}

@@ -265,6 +265,23 @@ func (v *Vec) ScanTail(id ListID, n int, fn func(pfn mem.PFN) bool) {
 	}
 }
 
+// TailBatch appends up to n PFNs from the reclaim end of the list to buf
+// — tail first, the same order ScanTail visits — and returns the extended
+// slice. The capture is a point-in-time copy of the chain: callers may
+// rotate, remove, or migrate the captured pages while iterating the
+// slice, which is exactly equivalent to a ScanTail whose callback only
+// mutates the current page. Reclaim's shrink loops use this so the scan
+// is one pointer walk plus a flat slice pass instead of a callback per
+// page.
+func (v *Vec) TailBatch(id ListID, n int, buf []mem.PFN) []mem.PFN {
+	cur := v.lists[id].tail
+	for i := 0; i < n && cur != mem.NilPFN; i++ {
+		buf = append(buf, cur)
+		cur = v.store.Page(cur).Prev
+	}
+	return buf
+}
+
 // pushFront links pfn at the head (MRU end) of list id.
 func (v *Vec) pushFront(id ListID, pfn mem.PFN) {
 	l := &v.lists[id]

@@ -77,6 +77,12 @@ type Engine struct {
 
 	movedPages  uint64 // total pages successfully moved
 	windowPages uint64 // pages moved since last TakeWindow
+
+	// Per-node cascade accounting: demotions landing on a node and
+	// promotions leaving it, indexed by NodeID. Experiments and the
+	// multitier example read these to show traffic per hop.
+	demotedInto  []uint64
+	promotedFrom []uint64
 }
 
 // NewEngine returns a migration engine. vecs must be indexed by NodeID.
@@ -87,8 +93,18 @@ func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Ve
 	if cfg.RefsFailProb == 0 {
 		cfg.RefsFailProb = 0.002
 	}
-	return &Engine{cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat, rng: rng}
+	return &Engine{
+		cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat, rng: rng,
+		demotedInto:  make([]uint64, topo.NumNodes()),
+		promotedFrom: make([]uint64, topo.NumNodes()),
+	}
 }
+
+// DemotedInto returns how many pages have been demoted onto the node.
+func (e *Engine) DemotedInto(id mem.NodeID) uint64 { return e.demotedInto[id] }
+
+// PromotedFrom returns how many pages have been promoted off the node.
+func (e *Engine) PromotedFrom(id mem.NodeID) uint64 { return e.promotedFrom[id] }
 
 // PerPageCost returns the configured per-page migration cost in ns.
 func (e *Engine) PerPageCost() float64 { return e.cfg.PerPageNs }
@@ -163,6 +179,10 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 		} else {
 			e.stat.Inc(vmstat.PgdemoteAnon)
 		}
+		e.demotedInto[dest]++
+		if e.topo.TierOf(dest) >= 2 {
+			e.stat.Inc(vmstat.PgdemoteFar)
+		}
 	case Promotion:
 		if pg.Flags.Has(mem.PGDemoted) {
 			// Ping-pong: a demoted page came straight back (§5.5).
@@ -176,6 +196,10 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 			e.stat.Inc(vmstat.PgpromoteAnon)
 		}
 		e.stat.Inc(vmstat.PgpromoteSuccess)
+		e.promotedFrom[src]++
+		if e.topo.TierOf(src) >= 2 {
+			e.stat.Inc(vmstat.PgpromoteFar)
+		}
 	}
 	e.stat.Inc(vmstat.PgmigrateSuccess)
 	e.movedPages++

@@ -3,7 +3,10 @@
 // periodically unmaps a window of a process's memory (the paper's default
 // 256 MB); the next touch of an unmapped page raises a *NUMA hint fault*,
 // and a page faulted from a remote node is migrated toward the faulting
-// CPU ("promotion").
+// CPU ("promotion"). Promotion is topology-aware: a hint-faulted page on
+// any non-CPU tier climbs one tier toward the CPU (the least-pressured
+// node of the next tier up), so on multi-hop machines a page trapped on
+// the far expander reaches local DRAM in steps.
 //
 // TPP changes three things, each independently switchable here for the
 // ablation experiments:
@@ -85,8 +88,12 @@ type Balancer struct {
 	as     *pagetable.AddressSpace
 
 	// nodeCXL caches per-node "is CXL" so the per-access and per-scan
-	// checks are a slice index instead of a topology walk.
+	// checks are a slice index instead of a topology walk; nodeTop caches
+	// "is on the CPU tier" (tier 0), the promotability cut-off — on
+	// multi-hop machines a page anywhere below the CPU tier is a
+	// promotion candidate toward the next tier up.
 	nodeCXL []bool
+	nodeTop []bool
 
 	// VA-order scan cursor (the kernel walks mm->mmap sequentially and
 	// wraps).
@@ -99,10 +106,12 @@ type Balancer struct {
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 	stat *vmstat.Stat, engine *migrate.Engine, as *pagetable.AddressSpace) *Balancer {
 	cxl := make([]bool, topo.NumNodes())
+	top := make([]bool, topo.NumNodes())
 	for i := range cxl {
 		cxl[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindCXL
+		top[i] = topo.TierOf(mem.NodeID(i)) == 0
 	}
-	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as, nodeCXL: cxl}
+	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as, nodeCXL: cxl, nodeTop: top}
 }
 
 // Config returns the balancer configuration.
@@ -197,8 +206,8 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 	out := AccessOutcome{HintFault: true, LatencyNs: b.cfg.HintFaultNs}
 	b.stat.Inc(vmstat.NumaHintFaults)
 
-	if !b.nodeCXL[pg.Node] {
-		// Local fault: nothing to promote.
+	if b.nodeTop[pg.Node] {
+		// CPU-tier fault: nothing to promote.
 		b.stat.Inc(vmstat.NumaHintFaultsLocal)
 		return out
 	}
@@ -218,7 +227,11 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 		return out
 	}
 
-	target := b.topo.PromotionTarget()
+	// One hop toward the CPU: the least-pressured node of the next tier
+	// up. On the paper's 2-node box this is exactly §5.3's "local node
+	// with the lowest memory pressure"; on multi-hop machines a far-tier
+	// page climbs tier by tier.
+	target := b.topo.PromotionTargetFrom(pg.Node)
 	if target == mem.NilNode {
 		b.stat.Inc(vmstat.PromoteFailGlobal)
 		return out

@@ -3,19 +3,24 @@
 // (active→inactive demotion of stale pages), and synchronous direct
 // reclaim. TPP's contributions live here:
 //
-//   - Migration-for-reclamation (§5.1): on the local node, reclaim
-//     candidates found at the inactive-list tails are *demoted* to the
-//     CXL node via page migration instead of being swapped/dropped, and
-//     both inactive lists (anon and file) are scanned. Migration failure
-//     falls back to the default reclaim action for that page.
+//   - Migration-for-reclamation (§5.1): reclaim candidates found at the
+//     inactive-list tails are *demoted* down the topology's
+//     distance-ordered cascade (tier N → N+1, nearest farther node
+//     first) via page migration instead of being swapped/dropped, and
+//     both inactive lists (anon and file) are scanned. When every
+//     cascade target refuses the page, reclaim falls back to the
+//     default action for it.
 //   - Decoupled watermarks (§5.2): with TPP, kswapd on the local node
 //     wakes below the demotion watermark and keeps reclaiming until free
 //     pages reach it, while allocations continue against the (lower)
 //     allocation watermark in package alloc.
 //
-// CXL nodes always use default reclaim (drop/writeback/swap) — §5.1:
-// "As allocation on CXL-node is not performance critical, CXL-nodes use
-// the default reclamation mechanism."
+// Bottom-tier nodes have no cascade targets and always use default
+// reclaim (drop/writeback/swap) — §5.1: "As allocation on CXL-node is
+// not performance critical, CXL-nodes use the default reclamation
+// mechanism." On multi-hop machines the intermediate tiers demote
+// onward instead, which is what keeps a near expander from silting up
+// with cold pages.
 //
 // Default reclaim cost asymmetry: dropping a clean file page is cheap;
 // a dirty page pays writeback; anon and tmpfs pages need swap (and are
@@ -92,6 +97,9 @@ type Daemon struct {
 	// scanScratch backs scanOrder's return value so the per-tick shrink
 	// loop does not allocate.
 	scanScratch [2]lru.ListID
+	// scanPFNs is the reusable tail-batch capture buffer for the shrink
+	// and swap-out scans (grown on demand, never shrunk).
+	scanPFNs []mem.PFN
 }
 
 // New wires a reclaim daemon. swapd may be nil (the paper's evaluation
@@ -194,23 +202,23 @@ func (d *Daemon) SwapOutColdest(id mem.NodeID, want int) (int, float64) {
 		if swapped >= want {
 			break
 		}
-		vec.ScanTail(list, int(vec.Size(list)), func(pfn mem.PFN) bool {
+		d.scanPFNs = vec.TailBatch(list, int(vec.Size(list)), d.scanPFNs[:0])
+		for _, pfn := range d.scanPFNs {
 			if swapped >= want {
-				return false
+				break
 			}
 			pg := d.store.Page(pfn)
 			if pg.Flags.Has(mem.PGUnevictable) || pg.Flags.Has(mem.PGReferenced) {
-				return true // leave hot/pinned pages alone, keep scanning
+				continue // leave hot/pinned pages alone, keep scanning
 			}
 			cost, ok := d.swapd.PageOut()
 			if !ok {
-				return false // pool full
+				return swapped, spent // pool full
 			}
 			d.evict(n, vec, pfn, pagetable.EvictSwap)
 			spent += cost
 			swapped++
-			return true
-		})
+		}
 	}
 	return swapped, spent
 }
@@ -229,10 +237,13 @@ func (d *Daemon) shrinkNode(n *mem.Node, targetFree uint64, budgetNs float64, di
 	const maxPriority = 12
 	spent := 0.0
 	vec := d.vecs[n.ID]
-	// Demotion only applies on CPU-attached nodes with a lower tier.
-	demoteTo := mem.NilNode
-	if d.cfg.DemotionEnabled && n.Kind == mem.KindLocal {
-		demoteTo = d.topo.DemotionTarget(n.ID)
+	// Demotion cascades down the distance-ordered target list (tier N →
+	// N+1, then farther tiers as fallback). Bottom-tier nodes have no
+	// targets and use default reclaim, as do all nodes when demotion is
+	// off.
+	var demoteTo []mem.NodeID
+	if d.cfg.DemotionEnabled {
+		demoteTo = d.topo.DemotionTargets(n.ID)
 	}
 	spent += d.ageNode(n, vec)
 	for priority := maxPriority; priority >= 0; priority-- {
@@ -260,8 +271,8 @@ func (d *Daemon) shrinkNode(n *mem.Node, targetFree uint64, budgetNs float64, di
 // progress (anon/tmpfs with neither swap nor demotion). The returned
 // slice aliases the daemon's scratch buffer; it is valid until the next
 // scanOrder call.
-func (d *Daemon) scanOrder(n *mem.Node, vec *lru.Vec, demoteTo mem.NodeID) []lru.ListID {
-	reclaimableAnon := demoteTo != mem.NilNode || d.swapd != nil
+func (d *Daemon) scanOrder(n *mem.Node, vec *lru.Vec, demoteTo []mem.NodeID) []lru.ListID {
+	reclaimableAnon := len(demoteTo) > 0 || d.swapd != nil
 	out := d.scanScratch[:0]
 	if vec.Size(lru.InactiveFile) > 0 {
 		out = append(out, lru.InactiveFile)
@@ -305,8 +316,16 @@ func (d *Daemon) ageNode(n *mem.Node, vec *lru.Vec) float64 {
 }
 
 // shrinkList scans up to scan pages from one inactive list's tail,
-// reclaiming victims. Returns CPU ns consumed.
-func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo mem.NodeID, budgetNs float64, direct bool, scan int) float64 {
+// reclaiming victims down the demotion cascade. The tail window is
+// captured into flat slice batches (one pointer walk per pass) and
+// processed without per-page callbacks. When the scan window exceeds the
+// list, the scan wraps into pages rotated to the front during this same
+// call — re-gathering from the tail visits them in rotation order, which
+// is exactly where the old live pointer walk continued, so a small list
+// under a wide window still cycles (and referenced pages stripped of
+// their bit on the first pass become victims on the second). Returns CPU
+// ns consumed.
+func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo []mem.NodeID, budgetNs float64, direct bool, scan int) float64 {
 	const scanNs = 200 // per-page scan overhead
 	spent := 0.0
 	scanCounter, stealCounter := vmstat.PgscanKswapd, vmstat.PgstealKswapd
@@ -315,42 +334,61 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo m
 		scanCounter, stealCounter = vmstat.PgscanDirect, vmstat.PgstealDirect
 		demoteCounter = vmstat.PgdemoteDirect
 	}
-	vec.ScanTail(id, scan, func(pfn mem.PFN) bool {
-		if spent >= budgetNs {
-			return false
+	for visited := 0; visited < scan; {
+		d.scanPFNs = vec.TailBatch(id, scan-visited, d.scanPFNs[:0])
+		if len(d.scanPFNs) == 0 {
+			break
 		}
-		d.stat.Inc(scanCounter)
-		spent += scanNs
-		pg := d.store.Page(pfn)
-		if pg.Flags.Has(mem.PGUnevictable) {
-			vec.RotateToFront(pfn)
-			return true
-		}
-		if pg.Flags.Has(mem.PGReferenced) {
-			// Second chance: recently touched, rotate away.
-			pg.Flags = pg.Flags.Clear(mem.PGReferenced)
-			vec.RotateToFront(pfn)
-			d.stat.Inc(vmstat.PgRotated)
-			return true
-		}
-		// Victim. Try demotion first (§5.1), falling back to the default
-		// action for this page if migration fails.
-		if demoteTo != mem.NilNode {
-			cost, err := d.engine.Migrate(pfn, demoteTo, migrate.Demotion)
-			if err == nil {
-				spent += cost
-				d.stat.Inc(demoteCounter)
-				return true
+		for _, pfn := range d.scanPFNs {
+			if spent >= budgetNs {
+				return spent
 			}
-			d.stat.Inc(vmstat.PgdemoteFallbck)
+			visited++
+			d.stat.Inc(scanCounter)
+			spent += scanNs
+			pg := d.store.Page(pfn)
+			if pg.Flags.Has(mem.PGUnevictable) {
+				vec.RotateToFront(pfn)
+				continue
+			}
+			if pg.Flags.Has(mem.PGReferenced) {
+				// Second chance: recently touched, rotate away.
+				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
+				vec.RotateToFront(pfn)
+				d.stat.Inc(vmstat.PgRotated)
+				continue
+			}
+			// Victim. Walk the demotion cascade (§5.1, generalized:
+			// nearest farther tier first, then the rest). Only a full
+			// target advances the cascade — page-transient failures
+			// (refs, isolation) would fail against any target, and
+			// retrying them would just re-roll the transient and skip
+			// the page down a tier it was never aimed at.
+			demoted := false
+			for _, dst := range demoteTo {
+				cost, err := d.engine.Migrate(pfn, dst, migrate.Demotion)
+				if err == nil {
+					spent += cost
+					d.stat.Inc(demoteCounter)
+					demoted = true
+				}
+				if err != migrate.ErrTargetFull {
+					break
+				}
+			}
+			if demoted {
+				continue
+			}
+			if len(demoteTo) > 0 {
+				d.stat.Inc(vmstat.PgdemoteFallbck)
+			}
+			cost, ok := d.defaultReclaim(n, vec, pfn)
+			spent += cost
+			if ok {
+				d.stat.Inc(stealCounter)
+			}
 		}
-		cost, ok := d.defaultReclaim(n, vec, pfn)
-		spent += cost
-		if ok {
-			d.stat.Inc(stealCounter)
-		}
-		return true
-	})
+	}
 	return spent
 }
 

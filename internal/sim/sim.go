@@ -52,18 +52,32 @@ type Config struct {
 	Policy   core.Policy
 	Workload workload.Workload
 
-	// Node sizing. Either set LocalPages/CXLPages explicitly, or give a
-	// Ratio (e.g. {2,1} or {1,4}) to derive them from the workload's
-	// working set with Slack headroom. Ratio {1,0} builds the all-local
-	// baseline.
+	// Topology declares the machine: N nodes with per-node capacity
+	// (absolute pages or working-set ratio shares), kind, latency,
+	// bandwidth, and a distance matrix. Use the tier presets (PresetCXL,
+	// PresetDualSocket, PresetExpander) or build a custom Spec. Leaving
+	// it empty falls back to the legacy two-node sugar below.
+	Topology tier.Spec
+
+	// Legacy node sizing for the paper's 2-node box, kept as sugar over
+	// Topology (deprecated: prefer Topology). Either set
+	// LocalPages/CXLPages explicitly, or give a Ratio (e.g. {2,1} or
+	// {1,4}) to derive them from the workload's working set with Slack
+	// headroom. Ratio {1,0} builds the all-local baseline. Mutually
+	// exclusive with Topology.
 	LocalPages uint64
 	CXLPages   uint64
 	Ratio      [2]uint64
 	// Slack is the capacity headroom over the working set (default 0.08;
 	// the paper: "the whole system has enough memory").
 	Slack float64
-	// CXLLatencyNs overrides the CXL load latency (Fig. 16 sweep).
+	// CXLLatencyNs overrides the CXL load latency on the legacy 2-node
+	// machine (deprecated: prefer NodeLatencyNs, which works on any
+	// topology).
 	CXLLatencyNs float64
+	// NodeLatencyNs overrides per-node load latency, indexed by node ID;
+	// zero entries keep the node's default (the Fig. 16 sweep, per node).
+	NodeLatencyNs []float64
 
 	// Minutes is the run length in simulated minutes (default 60).
 	Minutes int
@@ -104,7 +118,7 @@ func (c Config) withDefaults() Config {
 	if c.Slack == 0 {
 		c.Slack = 0.08
 	}
-	if c.Ratio == [2]uint64{} && c.LocalPages == 0 {
+	if len(c.Topology.Nodes) == 0 && c.Ratio == [2]uint64{} && c.LocalPages == 0 {
 		c.Ratio = [2]uint64{2, 1}
 	}
 	return c
@@ -173,23 +187,40 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("sim: no workload")
 	}
-	local, cxl := cfg.LocalPages, cfg.CXLPages
-	if local == 0 {
-		local, cxl = tier.RatioPages(cfg.Workload.TotalPages(), cfg.Ratio[0], cfg.Ratio[1], cfg.Slack)
+	var topo *tier.Topology
+	var err error
+	if len(cfg.Topology.Nodes) > 0 {
+		if cfg.Ratio != [2]uint64{} || cfg.LocalPages != 0 || cfg.CXLPages != 0 {
+			return nil, fmt.Errorf("sim: Topology and the legacy Ratio/LocalPages/CXLPages sizing are mutually exclusive")
+		}
+		if cfg.CXLLatencyNs != 0 {
+			return nil, fmt.Errorf("sim: CXLLatencyNs only applies to the legacy 2-node machine; use NodeLatencyNs with Topology")
+		}
+		topo, err = cfg.Topology.Build(cfg.Workload.TotalPages(), cfg.Slack)
+	} else {
+		local, cxl := cfg.LocalPages, cfg.CXLPages
+		if local == 0 {
+			local, cxl = tier.RatioPages(cfg.Workload.TotalPages(), cfg.Ratio[0], cfg.Ratio[1], cfg.Slack)
+		}
+		topo, err = tier.NewCXLSystem(tier.Config{
+			LocalPages:   local,
+			CXLPages:     cxl,
+			CXLLatencyNs: cfg.CXLLatencyNs,
+		})
 	}
-	topo, err := tier.NewCXLSystem(tier.Config{
-		LocalPages:   local,
-		CXLPages:     cxl,
-		CXLLatencyNs: cfg.CXLLatencyNs,
-	})
 	if err != nil {
 		return nil, err
+	}
+	for i, ns := range cfg.NodeLatencyNs {
+		if ns > 0 && i < topo.NumNodes() {
+			topo.SetLatency(mem.NodeID(i), ns)
+		}
 	}
 
 	m := &Machine{
 		cfg:   cfg,
 		topo:  topo,
-		store: mem.NewStore(int(local + cxl)),
+		store: mem.NewStore(int(topo.TotalCapacity())),
 		stat:  vmstat.New(),
 		as:    pagetable.New(1),
 		wl:    cfg.Workload,
@@ -234,7 +265,13 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	if cfg.RecordTo != "" {
-		w, err := trace.Create(cfg.RecordTo, trace.HeaderFor(cfg.Workload))
+		// The header records the resolved machine so a replay can rebuild
+		// it exactly (tppsim.Replay adopts it when the caller specifies no
+		// sizing of its own).
+		h := trace.HeaderFor(cfg.Workload)
+		spec := topo.Spec()
+		h.Topology = &spec
+		w, err := trace.Create(cfg.RecordTo, h)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,7 @@ package tier
 
 import (
 	"fmt"
+	"sort"
 
 	"tppsim/internal/mem"
 )
@@ -42,10 +43,24 @@ const (
 )
 
 // Topology is the set of nodes plus their distance matrix and traits.
+// Nodes are ranked into tiers by their distance from the CPU (the minimum
+// distance to any CPU-attached node): tier 0 is the CPU tier, higher
+// tiers are progressively farther. Demotion cascades down the tiers and
+// promotion climbs back up, one hop at a time.
 type Topology struct {
 	nodes    []*mem.Node
 	traits   []Traits
 	distance [][]int
+
+	// Construction metadata, kept so Spec() can serialize the machine
+	// (trace headers record it for exact replay).
+	name     string
+	demoteSF float64
+
+	// Derived tier structure, computed once at assembly.
+	tiers         []int
+	numTiers      int
+	demoteTargets [][]mem.NodeID
 }
 
 // New assembles a topology. distance must be square with len(nodes) rows;
@@ -73,7 +88,61 @@ func New(nodes []*mem.Node, traits []Traits, distance [][]int) (*Topology, error
 			return nil, fmt.Errorf("tier: node %d kind/CPU mismatch", i)
 		}
 	}
-	return &Topology{nodes: nodes, traits: traits, distance: distance}, nil
+	t := &Topology{nodes: nodes, traits: traits, distance: distance}
+	t.computeTiers()
+	return t, nil
+}
+
+// computeTiers derives the tier structure: every node's distance to the
+// nearest CPU node, dense tier ranks over the distinct distances, and the
+// per-node demotion cascade (all strictly-farther nodes, nearest first).
+func (t *Topology) computeTiers() {
+	n := len(t.nodes)
+	cpuDist := make([]int, n)
+	locals := t.LocalNodes()
+	for i := range t.nodes {
+		if len(locals) == 0 {
+			// Degenerate CPU-less machine: everything is one tier.
+			cpuDist[i] = t.distance[i][i]
+			continue
+		}
+		best := int(^uint(0) >> 1)
+		for _, l := range locals {
+			if d := t.distance[i][l]; d < best {
+				best = d
+			}
+		}
+		cpuDist[i] = best
+	}
+	// Dense ranks over the sorted distinct CPU distances.
+	distinct := append([]int(nil), cpuDist...)
+	sort.Ints(distinct)
+	rank := map[int]int{}
+	for _, d := range distinct {
+		if _, ok := rank[d]; !ok {
+			rank[d] = len(rank)
+		}
+	}
+	t.tiers = make([]int, n)
+	for i, d := range cpuDist {
+		t.tiers[i] = rank[d]
+	}
+	t.numTiers = len(rank)
+	// Demotion cascade: for each node, every node in a strictly farther
+	// tier, ordered by distance from the source (ties by ID).
+	t.demoteTargets = make([][]mem.NodeID, n)
+	for i := range t.nodes {
+		var targets []mem.NodeID
+		for j := range t.nodes {
+			if t.tiers[j] > t.tiers[i] {
+				targets = append(targets, mem.NodeID(j))
+			}
+		}
+		sort.SliceStable(targets, func(a, b int) bool {
+			return t.distance[i][targets[a]] < t.distance[i][targets[b]]
+		})
+		t.demoteTargets[i] = targets
+	}
 }
 
 // NumNodes returns the node count.
@@ -117,18 +186,30 @@ func (t *Topology) CXLNodes() []mem.NodeID {
 	return out
 }
 
-// DemotionTarget returns the CXL node nearest (by distance) to the given
-// local node — the §5.1 static distance-based demotion rule. Returns
-// mem.NilNode when the machine has no CXL node (the all-local baseline).
+// TierOf returns the node's tier rank: 0 for the CPU tier, increasing
+// with distance from the CPU.
+func (t *Topology) TierOf(id mem.NodeID) int { return t.tiers[id] }
+
+// NumTiers returns the number of distinct tiers.
+func (t *Topology) NumTiers() int { return t.numTiers }
+
+// DemotionTargets returns the node's demotion cascade: every node in a
+// strictly farther tier, nearest (by distance from the node) first — the
+// §5.1 rule ("the demotion target is chosen based on the node distances
+// from the CPU") generalized to N tiers. Empty for bottom-tier nodes.
+// The slice is shared; callers must not mutate it.
+func (t *Topology) DemotionTargets(from mem.NodeID) []mem.NodeID {
+	return t.demoteTargets[from]
+}
+
+// DemotionTarget returns the first node of the demotion cascade — the
+// nearest node one or more tiers down. Returns mem.NilNode for
+// bottom-tier nodes (and on the all-local baseline).
 func (t *Topology) DemotionTarget(from mem.NodeID) mem.NodeID {
-	best := mem.NilNode
-	bestDist := int(^uint(0) >> 1)
-	for _, id := range t.CXLNodes() {
-		if d := t.distance[from][id]; d < bestDist {
-			best, bestDist = id, d
-		}
+	if ts := t.demoteTargets[from]; len(ts) > 0 {
+		return ts[0]
 	}
-	return best
+	return mem.NilNode
 }
 
 // PromotionTarget returns the local node with the most free pages — §5.3:
@@ -141,6 +222,35 @@ func (t *Topology) PromotionTarget() mem.NodeID {
 	for _, id := range t.LocalNodes() {
 		if f := t.nodes[id].Free(); best == mem.NilNode || f > bestFree {
 			best, bestFree = id, f
+		}
+	}
+	return best
+}
+
+// PromotionTargetFrom returns where a hot page on the given node should
+// promote to: the least-pressured node in the tier immediately above
+// (toward the CPU). Multi-hop machines climb one tier per promotion, so a
+// page trapped on the far expander reaches local DRAM via the near tier.
+// Returns mem.NilNode for CPU-tier nodes (nothing above them).
+func (t *Topology) PromotionTargetFrom(from mem.NodeID) mem.NodeID {
+	tier := t.tiers[from]
+	if tier == 0 {
+		return mem.NilNode
+	}
+	return t.bestOfTier(tier - 1)
+}
+
+// bestOfTier returns the node of the given tier with the most free
+// pages, or mem.NilNode when the tier is empty.
+func (t *Topology) bestOfTier(tier int) mem.NodeID {
+	best := mem.NilNode
+	var bestFree uint64
+	for i, n := range t.nodes {
+		if t.tiers[i] != tier {
+			continue
+		}
+		if f := n.Free(); best == mem.NilNode || f > bestFree {
+			best, bestFree = mem.NodeID(i), f
 		}
 	}
 	return best
@@ -171,6 +281,280 @@ func (t *Topology) TotalCapacity() uint64 {
 	return s
 }
 
+// Spec returns a declarative description of the assembled machine:
+// absolute per-node capacities, traits, and the distance matrix.
+// Building the returned spec reproduces this topology exactly (for
+// machines assembled via Spec.Build or NewCXLSystem, which record their
+// demote scale factor; hand-assembled topologies serialize with the
+// default factor). Trace headers record it so replays can rebuild the
+// recorded machine.
+func (t *Topology) Spec() Spec {
+	s := Spec{
+		Name:              t.name,
+		DemoteScaleFactor: t.demoteSF,
+		Distance:          make([][]int, len(t.distance)),
+	}
+	for i, row := range t.distance {
+		s.Distance[i] = append([]int(nil), row...)
+	}
+	for i, n := range t.nodes {
+		s.Nodes = append(s.Nodes, NodeSpec{
+			Kind:          n.Kind,
+			Pages:         n.Capacity,
+			LoadLatencyNs: t.traits[i].LoadLatency,
+			BandwidthMBps: t.traits[i].BandwidthMBps,
+		})
+	}
+	return s
+}
+
+// NodeSpec declares one memory node of a Spec.
+type NodeSpec struct {
+	// Kind selects CPU-attached DRAM or CPU-less CXL memory.
+	Kind mem.NodeKind
+	// Pages is the node's absolute capacity in 4 KB pages. Exactly one of
+	// Pages and Share must be non-zero.
+	Pages uint64
+	// Share sizes the node proportionally at Build time: nodes with
+	// shares split the working set (grown by the slack headroom, minus
+	// any absolute-Pages nodes) in share proportion — the N-node
+	// generalization of the legacy local:CXL Ratio.
+	Share uint64
+	// LoadLatencyNs overrides the kind's default load latency
+	// (local DRAM 100 ns, CXL 220 ns).
+	LoadLatencyNs float64
+	// BandwidthMBps overrides the kind's default link bandwidth.
+	BandwidthMBps float64
+}
+
+// Spec declares a machine topology: N nodes with per-node capacity
+// (absolute pages or working-set ratio shares), kind, performance traits,
+// and a distance matrix. Build resolves it into a Topology. The zero
+// Distance synthesizes a flat matrix (10 on the diagonal, 20 elsewhere),
+// which makes every CXL node one hop from every CPU node; multi-hop
+// machines (see PresetExpander) supply an explicit matrix.
+type Spec struct {
+	// Name labels the topology ("cxl", "dualsocket", "expander", ...).
+	Name string
+	// Nodes lists the machine's memory nodes; node IDs are their indexes.
+	Nodes []NodeSpec
+	// Distance is the NUMA distance matrix: square, len(Nodes) rows,
+	// every row's minimum on the diagonal. nil synthesizes a flat matrix.
+	Distance [][]int
+	// DemoteScaleFactor is the /proc/sys/vm/demote_scale_factor analogue
+	// (0 means the 2% default).
+	DemoteScaleFactor float64
+}
+
+// Validate checks the spec's structural invariants: at least one node,
+// at least one CPU node, exactly one of Pages/Share per node, a
+// representable node count, and a well-shaped distance matrix (deeper
+// distance-value checks happen in New at Build time).
+func (s Spec) Validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("tier: spec %q has no nodes", s.Name)
+	}
+	if len(s.Nodes) > 127 {
+		return fmt.Errorf("tier: spec %q has %d nodes; node IDs are int8", s.Name, len(s.Nodes))
+	}
+	for i, n := range s.Nodes {
+		if (n.Pages == 0) == (n.Share == 0) {
+			return fmt.Errorf("tier: spec %q node %d: exactly one of Pages and Share must be set", s.Name, i)
+		}
+	}
+	// Node 0 is the CPU node by convention (mem.NodeID's doc); the
+	// simulator anchors its baseline latency and preferred allocation
+	// node there, so a spec leading with a CPU-less node would run
+	// without error and quietly produce inverted placement.
+	if s.Nodes[0].Kind != mem.KindLocal {
+		return fmt.Errorf("tier: spec %q node 0 must be CPU-attached (KindLocal)", s.Name)
+	}
+	if s.Distance != nil && len(s.Distance) != len(s.Nodes) {
+		return fmt.Errorf("tier: spec %q distance matrix has %d rows for %d nodes", s.Name, len(s.Distance), len(s.Nodes))
+	}
+	return nil
+}
+
+// Build resolves the spec into a Topology. workingSetPages sizes the
+// ratio-share nodes (the workload's TotalPages); slack is the capacity
+// headroom over the working set (the same knob as sim.Config.Slack).
+// Specs whose nodes all use absolute Pages ignore both.
+func (s Spec) Build(workingSetPages uint64, slack float64) (*Topology, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sf := s.DemoteScaleFactor
+	if sf == 0 {
+		sf = 0.02
+	}
+	var shareSum, absSum uint64
+	for _, n := range s.Nodes {
+		shareSum += n.Share
+		absSum += n.Pages
+	}
+	pages := make([]uint64, len(s.Nodes))
+	if shareSum > 0 {
+		if workingSetPages == 0 {
+			return nil, fmt.Errorf("tier: spec %q has ratio-share nodes but no working-set size", s.Name)
+		}
+		total := uint64(float64(workingSetPages) * (1 + slack))
+		if total <= absSum {
+			return nil, fmt.Errorf("tier: spec %q absolute nodes (%d pages) consume the whole working set (%d)", s.Name, absSum, total)
+		}
+		// Cumulative split so the shares sum exactly to the budget; the
+		// two-node {2,1} case reproduces the legacy RatioPages arithmetic
+		// bit for bit.
+		budget := total - absSum
+		var given, shareSeen uint64
+		for i, n := range s.Nodes {
+			if n.Share == 0 {
+				pages[i] = n.Pages
+				continue
+			}
+			shareSeen += n.Share
+			want := budget * shareSeen / shareSum
+			pages[i] = want - given
+			given = want
+		}
+	} else {
+		for i, n := range s.Nodes {
+			pages[i] = n.Pages
+		}
+	}
+	nodes := make([]*mem.Node, len(s.Nodes))
+	traits := make([]Traits, len(s.Nodes))
+	for i, n := range s.Nodes {
+		if pages[i] == 0 {
+			return nil, fmt.Errorf("tier: spec %q node %d resolves to zero pages", s.Name, i)
+		}
+		nodes[i] = mem.NewNode(mem.NodeID(i), n.Kind, pages[i], sf)
+		tr := Traits{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true}
+		if n.Kind == mem.KindCXL {
+			tr = Traits{LoadLatency: CXLLatencyDefaultNs, BandwidthMBps: CXLx16BandwidthMBps, HasCPU: false}
+		}
+		if n.LoadLatencyNs > 0 {
+			tr.LoadLatency = n.LoadLatencyNs
+		}
+		if n.BandwidthMBps > 0 {
+			tr.BandwidthMBps = n.BandwidthMBps
+		}
+		traits[i] = tr
+	}
+	dist := s.Distance
+	if dist == nil {
+		dist = make([][]int, len(s.Nodes))
+		for i := range dist {
+			dist[i] = make([]int, len(s.Nodes))
+			for j := range dist[i] {
+				if i == j {
+					dist[i][j] = 10
+				} else {
+					dist[i][j] = 20
+				}
+			}
+		}
+	}
+	topo, err := New(nodes, traits, dist)
+	if err != nil {
+		return nil, err
+	}
+	topo.name = s.Name
+	topo.demoteSF = sf
+	return topo, nil
+}
+
+// Preset names, in presentation order.
+const (
+	PresetNameCXL        = "cxl"
+	PresetNameDualSocket = "dualsocket"
+	PresetNameExpander   = "expander"
+)
+
+// PresetNames lists the named topology presets.
+func PresetNames() []string {
+	return []string{PresetNameCXL, PresetNameDualSocket, PresetNameExpander}
+}
+
+// Preset returns the named preset with its default shares: the paper's
+// 2-node CXL box at 2:1, the dual-socket system, or the 2:1:1 multi-hop
+// expander.
+func Preset(name string) (Spec, bool) {
+	switch name {
+	case PresetNameCXL:
+		return PresetCXL(2, 1), true
+	case PresetNameDualSocket:
+		return PresetDualSocket(), true
+	case PresetNameExpander:
+		return PresetExpander(2, 1, 1), true
+	}
+	return Spec{}, false
+}
+
+// PresetCXL is the paper's target machine as a spec: one CPU-attached
+// local node and one CPU-less CXL node sized localShare:cxlShare over the
+// working set. cxlShare == 0 yields the single-node all-local baseline.
+// Building it is equivalent to the legacy Ratio sugar.
+func PresetCXL(localShare, cxlShare uint64) Spec {
+	s := Spec{
+		Name:  PresetNameCXL,
+		Nodes: []NodeSpec{{Kind: mem.KindLocal, Share: localShare}},
+	}
+	if cxlShare > 0 {
+		s.Nodes = append(s.Nodes, NodeSpec{Kind: mem.KindCXL, Share: cxlShare})
+	}
+	return s
+}
+
+// PresetDualSocket is the §7 multi-socket system: two CPU sockets, each
+// with its own DRAM and its own CXL expander. Demotion from either socket
+// prefers its near expander and falls back to the remote socket's; both
+// sockets are promotion targets.
+func PresetDualSocket() Spec {
+	return Spec{
+		Name: PresetNameDualSocket,
+		Nodes: []NodeSpec{
+			{Kind: mem.KindLocal, Share: 2},
+			{Kind: mem.KindLocal, Share: 2},
+			{Kind: mem.KindCXL, Share: 1},
+			{Kind: mem.KindCXL, Share: 1, BandwidthMBps: CrossSocketBandwidthMBps},
+		},
+		// Socket-local CXL is one hop (20); the remote socket is a QPI hop
+		// (32); the remote socket's CXL device stacks both (42).
+		Distance: [][]int{
+			{10, 32, 20, 42},
+			{32, 10, 42, 20},
+			{20, 42, 10, 52},
+			{42, 20, 52, 10},
+		},
+	}
+}
+
+// FarCXLLatencyNs is the default load latency of the far node of the
+// multi-hop expander: a switched/daisy-chained CXL device behind the
+// near expander (§7 discusses such multi-device topologies).
+const FarCXLLatencyNs = 350.0
+
+// PresetExpander is the 3-tier multi-hop machine: local DRAM, a near CXL
+// expander, and a far (switched) CXL expander behind it. Reclaim cascades
+// local → near → far; promotion climbs far → near → local one hop per
+// hint fault.
+func PresetExpander(localShare, nearShare, farShare uint64) Spec {
+	return Spec{
+		Name: PresetNameExpander,
+		Nodes: []NodeSpec{
+			{Kind: mem.KindLocal, Share: localShare},
+			{Kind: mem.KindCXL, Share: nearShare},
+			{Kind: mem.KindCXL, Share: farShare,
+				LoadLatencyNs: FarCXLLatencyNs, BandwidthMBps: CrossSocketBandwidthMBps},
+		},
+		Distance: [][]int{
+			{10, 20, 40},
+			{20, 10, 30},
+			{40, 30, 10},
+		},
+	}
+}
+
 // Config describes a machine to build with the standard constructors.
 type Config struct {
 	// LocalPages and CXLPages size the two tiers. CXLPages == 0 builds the
@@ -188,36 +572,23 @@ type Config struct {
 // NewCXLSystem builds the paper's target machine: one CPU-attached local
 // node (node 0) and one CPU-less CXL node (node 1), with distances
 // mirroring a local/remote NUMA pair. With cfg.CXLPages == 0 it builds the
-// single-node baseline ("all memory in the local tier").
+// single-node baseline ("all memory in the local tier"). It is the
+// absolute-pages form of PresetCXL; both are sugar over Spec.Build.
 func NewCXLSystem(cfg Config) (*Topology, error) {
 	if cfg.LocalPages == 0 {
 		return nil, fmt.Errorf("tier: LocalPages must be positive")
 	}
-	sf := cfg.DemoteScaleFactor
-	if sf == 0 {
-		sf = 0.02
+	spec := Spec{
+		Name:              PresetNameCXL,
+		DemoteScaleFactor: cfg.DemoteScaleFactor,
+		Nodes:             []NodeSpec{{Kind: mem.KindLocal, Pages: cfg.LocalPages}},
 	}
-	lat := cfg.CXLLatencyNs
-	if lat == 0 {
-		lat = CXLLatencyDefaultNs
+	if cfg.CXLPages > 0 {
+		spec.Nodes = append(spec.Nodes, NodeSpec{
+			Kind: mem.KindCXL, Pages: cfg.CXLPages, LoadLatencyNs: cfg.CXLLatencyNs,
+		})
 	}
-	local := mem.NewNode(0, mem.KindLocal, cfg.LocalPages, sf)
-	if cfg.CXLPages == 0 {
-		return New(
-			[]*mem.Node{local},
-			[]Traits{{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true}},
-			[][]int{{10}},
-		)
-	}
-	cxl := mem.NewNode(1, mem.KindCXL, cfg.CXLPages, sf)
-	return New(
-		[]*mem.Node{local, cxl},
-		[]Traits{
-			{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true},
-			{LoadLatency: lat, BandwidthMBps: CXLx16BandwidthMBps, HasCPU: false},
-		},
-		[][]int{{10, 20}, {20, 10}},
-	)
+	return spec.Build(0, 0)
 }
 
 // RatioPages splits a total working-set size into (local, cxl) capacities

@@ -156,3 +156,145 @@ func TestZeroLocalRejected(t *testing.T) {
 		t.Fatal("zero local pages accepted")
 	}
 }
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ws   uint64
+	}{
+		{"no nodes", Spec{Name: "empty"}, 0},
+		{"no CPU node", Spec{Name: "cpuless", Nodes: []NodeSpec{{Kind: mem.KindCXL, Pages: 10}}}, 0},
+		{"CXL node first", Spec{Name: "inverted", Nodes: []NodeSpec{
+			{Kind: mem.KindCXL, Pages: 10}, {Kind: mem.KindLocal, Pages: 10}}}, 0},
+		{"pages and share both set", Spec{Name: "both", Nodes: []NodeSpec{
+			{Kind: mem.KindLocal, Pages: 10, Share: 1}}}, 100},
+		{"pages and share both zero", Spec{Name: "neither", Nodes: []NodeSpec{
+			{Kind: mem.KindLocal}}}, 100},
+		{"shares without working set", Spec{Name: "nows", Nodes: []NodeSpec{
+			{Kind: mem.KindLocal, Share: 1}}}, 0},
+		{"distance rows mismatched", Spec{Name: "baddist",
+			Nodes:    []NodeSpec{{Kind: mem.KindLocal, Pages: 10}},
+			Distance: [][]int{{10, 20}, {20, 10}}}, 0},
+		{"distance below self-distance", Spec{Name: "badmin",
+			Nodes: []NodeSpec{
+				{Kind: mem.KindLocal, Pages: 10}, {Kind: mem.KindCXL, Pages: 10}},
+			Distance: [][]int{{10, 5}, {20, 10}}}, 0},
+		{"share rounds to zero pages", Spec{Name: "tiny", Nodes: []NodeSpec{
+			{Kind: mem.KindLocal, Share: 1}, {Kind: mem.KindCXL, Share: 100000}}}, 10},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Build(c.ws, 0); err == nil {
+			t.Errorf("%s: Build accepted invalid spec", c.name)
+		}
+	}
+}
+
+func TestSpecShareSplitMatchesRatioPages(t *testing.T) {
+	// The spec share split must reproduce the legacy RatioPages
+	// arithmetic bit for bit — the default machine's sizing is pinned by
+	// the seed-determinism golden test.
+	for _, c := range [][2]uint64{{2, 1}, {1, 4}, {3, 2}} {
+		wantLocal, wantCXL := RatioPages(16*1024, c[0], c[1], 0.08)
+		topo, err := PresetCXL(c[0], c[1]).Build(16*1024, 0.08)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := topo.Node(0).Capacity; got != wantLocal {
+			t.Errorf("%d:%d local = %d, want %d", c[0], c[1], got, wantLocal)
+		}
+		if got := topo.Node(1).Capacity; got != wantCXL {
+			t.Errorf("%d:%d cxl = %d, want %d", c[0], c[1], got, wantCXL)
+		}
+	}
+}
+
+func TestExpanderCascade(t *testing.T) {
+	topo, err := PresetExpander(2, 1, 1).Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumTiers() != 3 {
+		t.Fatalf("NumTiers = %d, want 3", topo.NumTiers())
+	}
+	for id, want := range []int{0, 1, 2} {
+		if got := topo.TierOf(mem.NodeID(id)); got != want {
+			t.Errorf("TierOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	// Demotion cascades: local → [near, far]; near → [far]; far → [].
+	if got := topo.DemotionTargets(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("DemotionTargets(0) = %v, want [1 2]", got)
+	}
+	if got := topo.DemotionTargets(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("DemotionTargets(1) = %v, want [2]", got)
+	}
+	if got := topo.DemotionTargets(2); len(got) != 0 {
+		t.Errorf("DemotionTargets(2) = %v, want empty", got)
+	}
+	// Promotion climbs one hop: far → near, near → local, local → nil.
+	if got := topo.PromotionTargetFrom(2); got != 1 {
+		t.Errorf("PromotionTargetFrom(2) = %d, want 1", got)
+	}
+	if got := topo.PromotionTargetFrom(1); got != 0 {
+		t.Errorf("PromotionTargetFrom(1) = %d, want 0", got)
+	}
+	if got := topo.PromotionTargetFrom(0); got != mem.NilNode {
+		t.Errorf("PromotionTargetFrom(0) = %d, want nil", got)
+	}
+	if topo.Traits(2).LoadLatency != FarCXLLatencyNs {
+		t.Errorf("far latency = %v", topo.Traits(2).LoadLatency)
+	}
+}
+
+func TestDualSocketCascadeOrdering(t *testing.T) {
+	topo, err := PresetDualSocket().Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumTiers() != 2 {
+		t.Fatalf("NumTiers = %d, want 2", topo.NumTiers())
+	}
+	// Each socket demotes to its own expander first, the remote one second.
+	if got := topo.DemotionTargets(0); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("DemotionTargets(0) = %v, want [2 3]", got)
+	}
+	if got := topo.DemotionTargets(1); len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Errorf("DemotionTargets(1) = %v, want [3 2]", got)
+	}
+	// Promotion from either expander picks the least-pressured socket.
+	for i := 0; i < 30; i++ {
+		topo.Node(0).Acquire(mem.Anon)
+	}
+	if got := topo.PromotionTargetFrom(2); got != 1 {
+		t.Errorf("PromotionTargetFrom(2) = %d, want 1 (less pressure)", got)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	topo, err := PresetExpander(2, 1, 1).Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := topo.Spec()
+	if spec.Name != PresetNameExpander {
+		t.Errorf("round-trip name = %q", spec.Name)
+	}
+	rebuilt, err := spec.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumNodes() != topo.NumNodes() {
+		t.Fatalf("round-trip nodes = %d", rebuilt.NumNodes())
+	}
+	for i := 0; i < topo.NumNodes(); i++ {
+		id := mem.NodeID(i)
+		if rebuilt.Node(id).Capacity != topo.Node(id).Capacity ||
+			rebuilt.Node(id).Kind != topo.Node(id).Kind ||
+			rebuilt.Node(id).WM != topo.Node(id).WM ||
+			rebuilt.Traits(id) != topo.Traits(id) ||
+			rebuilt.TierOf(id) != topo.TierOf(id) {
+			t.Errorf("node %d diverged after round-trip", i)
+		}
+	}
+}

@@ -18,12 +18,20 @@
 //
 //	header:
 //	  magic      8 bytes  "TPPTRACE"
-//	  version    varint   currently 1
+//	  version    varint   currently 2
 //	  name       varint length + UTF-8 bytes (workload display name)
 //	  cpuns      8 bytes  float64 ThroughputModel.CPUServiceNs
 //	  stalls     8 bytes  float64 ThroughputModel.StallsPerOp
 //	  pages      varint   workload TotalPages (machine sizing)
 //	  warmup     varint   workload WarmupTicks
+//	  topo       (v2+)    1 presence byte; when 1, the resolved machine
+//	                      topology: name (varint length + bytes), demote
+//	                      scale factor (float64), node count (varint),
+//	                      then per node kind byte + capacity varint +
+//	                      latency float64 + bandwidth float64, then the
+//	                      row-major distance matrix as varints
+//
+// Version-1 traces carry no topology block and load as before.
 //
 //	event: 1 opcode byte + operands
 //	  OpMmap     (0x01)  start varint, pages varint, type byte,
@@ -33,10 +41,13 @@
 //	  OpAccess   (0x04)  same encoding; an access drawn via NextAccess
 //	  OpTickEnd  (0x05)  closes one simulated tick
 //	  OpStartEnd (0x06)  closes the Start (setup) section
+//	  OpEnd      (0x07)  closes the stream (v2+; written by Close)
 //
 // The stream grammar is: start-section events, OpStartEnd, then per tick
 // any housekeeping events (mmap/munmap/touch), the tick's accesses, and
-// OpTickEnd. Touch/Access VPNs are delta-encoded against the previous
+// OpTickEnd; version-2 streams end with OpEnd, so a v2 trace truncated
+// even exactly on an event boundary is detected as malformed rather than
+// silently replaying short. Touch/Access VPNs are delta-encoded against the previous
 // Touch/Access VPN, which keeps hot-set streams to ~2 bytes per event.
 // Region start VPNs are strictly increasing over the life of the stream
 // (the recorder's address space never reuses addresses), which the
@@ -57,14 +68,16 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/tier"
 	"tppsim/internal/workload"
 )
 
 // Magic identifies a trace file.
 const Magic = "TPPTRACE"
 
-// Version is the current trace-format version.
-const Version = 1
+// Version is the current trace-format version. Version 2 added the
+// optional topology block; version-1 traces still load.
+const Version = 2
 
 // Header carries the workload identity a trace was captured from: enough
 // for the Replayer to satisfy the workload.Workload interface and for a
@@ -75,6 +88,11 @@ type Header struct {
 	Model       metrics.ThroughputModel
 	TotalPages  uint64
 	WarmupTicks uint64
+	// Topology, when non-nil, is the resolved machine the trace was
+	// recorded on (absolute per-node capacities, traits, distances), so
+	// a replay can rebuild the identical machine. The simulator fills it
+	// in when recording; synthetic generators leave it nil.
+	Topology *tier.Spec
 }
 
 // HeaderFor builds a Header describing the given workload.
@@ -100,6 +118,7 @@ const (
 	OpAccess
 	OpTickEnd
 	OpStartEnd
+	OpEnd
 )
 
 // String returns the opcode mnemonic.
@@ -117,6 +136,8 @@ func (o Op) String() string {
 		return "tickend"
 	case OpStartEnd:
 		return "startend"
+	case OpEnd:
+		return "end"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -155,7 +176,108 @@ func encodeHeader(h Header) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Model.StallsPerOp))
 	buf = binary.AppendUvarint(buf, h.TotalPages)
 	buf = binary.AppendUvarint(buf, h.WarmupTicks)
+	if v >= 2 {
+		buf = appendTopology(buf, h.Topology)
+	}
 	return buf
+}
+
+// appendTopology renders the optional topology block. Only resolved
+// (absolute-Pages) specs are meaningful here; Share fields are not
+// serialized.
+func appendTopology(buf []byte, s *tier.Spec) []byte {
+	if s == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
+	buf = append(buf, s.Name...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.DemoteScaleFactor))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Nodes)))
+	for _, n := range s.Nodes {
+		buf = append(buf, byte(n.Kind))
+		buf = binary.AppendUvarint(buf, n.Pages)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.LoadLatencyNs))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.BandwidthMBps))
+	}
+	for _, row := range s.Distance {
+		for _, d := range row {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		}
+	}
+	return buf
+}
+
+// readTopology parses the topology block of a v2+ header.
+func readTopology(r byteStream) (*tier.Spec, error) {
+	present, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading topology marker: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	var s tier.Spec
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading topology name: %w", err)
+	}
+	if nameLen > 1<<12 {
+		return nil, fmt.Errorf("trace: absurd topology name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("trace: reading topology name: %w", err)
+	}
+	s.Name = string(name)
+	var f [8]byte
+	if _, err := io.ReadFull(r, f[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading demote scale factor: %w", err)
+	}
+	s.DemoteScaleFactor = math.Float64frombits(binary.LittleEndian.Uint64(f[:]))
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading topology node count: %w", err)
+	}
+	if count == 0 || count > 127 {
+		return nil, fmt.Errorf("trace: bad topology node count %d", count)
+	}
+	s.Nodes = make([]tier.NodeSpec, count)
+	for i := range s.Nodes {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading node %d kind: %w", i, err)
+		}
+		if kind > byte(mem.KindCXL) {
+			return nil, fmt.Errorf("trace: node %d has unknown kind %d", i, kind)
+		}
+		pages, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading node %d pages: %w", i, err)
+		}
+		var t [16]byte
+		if _, err := io.ReadFull(r, t[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading node %d traits: %w", i, err)
+		}
+		s.Nodes[i] = tier.NodeSpec{
+			Kind:          mem.NodeKind(kind),
+			Pages:         pages,
+			LoadLatencyNs: math.Float64frombits(binary.LittleEndian.Uint64(t[0:8])),
+			BandwidthMBps: math.Float64frombits(binary.LittleEndian.Uint64(t[8:16])),
+		}
+	}
+	s.Distance = make([][]int, count)
+	for i := range s.Distance {
+		s.Distance[i] = make([]int, count)
+		for j := range s.Distance[i] {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("trace: reading distance[%d][%d]: %w", i, j, err)
+			}
+			s.Distance[i][j] = int(d)
+		}
+	}
+	return &s, nil
 }
 
 // byteStream is what header/event decoding needs: bufio.Reader and
@@ -207,6 +329,11 @@ func readHeader(r byteStream) (Header, error) {
 	if h.WarmupTicks, err = binary.ReadUvarint(r); err != nil {
 		return Header{}, fmt.Errorf("trace: reading warmup ticks: %w", err)
 	}
+	if h.Version >= 2 {
+		if h.Topology, err = readTopology(r); err != nil {
+			return Header{}, err
+		}
+	}
 	return h, nil
 }
 
@@ -224,14 +351,51 @@ type Writer struct {
 	prev    pagetable.VPN
 	events  uint64
 	scratch []byte
+	version int
+	closed  bool
 	err     error
 }
 
-// NewWriter starts a trace on w with the given header.
+// NewWriter starts a trace on w with the given header. A header topology
+// must be resolved (absolute Pages and an explicit Distance matrix, as
+// produced by Topology.Spec); an unresolved spec is a sticky error
+// rather than a block the reader would misparse.
 func NewWriter(w io.Writer, h Header) *Writer {
-	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	v := h.Version
+	if v == 0 {
+		v = Version
+	}
+	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16), version: v}
+	if err := checkTopology(h.Topology); err != nil {
+		tw.err = err
+		return tw
+	}
 	tw.write(encodeHeader(h))
 	return tw
+}
+
+// checkTopology rejects header topologies the binary block cannot
+// represent: ratio-share nodes and synthesized (nil) distance matrices.
+// Resolve a spec through tier.Spec.Build + Topology.Spec before
+// recording it.
+func checkTopology(s *tier.Spec) error {
+	if s == nil {
+		return nil
+	}
+	for i, n := range s.Nodes {
+		if n.Pages == 0 {
+			return fmt.Errorf("trace: header topology node %d is unresolved (Share, not absolute Pages)", i)
+		}
+	}
+	if len(s.Distance) != len(s.Nodes) {
+		return fmt.Errorf("trace: header topology needs an explicit %dx%d distance matrix", len(s.Nodes), len(s.Nodes))
+	}
+	for i, row := range s.Distance {
+		if len(row) != len(s.Nodes) {
+			return fmt.Errorf("trace: header topology distance row %d has %d entries for %d nodes", i, len(row), len(s.Nodes))
+		}
+	}
+	return nil
 }
 
 // Create opens path for writing and starts a trace on it. Paths ending
@@ -287,7 +451,7 @@ func (w *Writer) WriteEvent(e Event) {
 	case OpTouch, OpAccess:
 		w.uvarint(zigzag(int64(e.VPN) - int64(w.prev)))
 		w.prev = e.VPN
-	case OpTickEnd, OpStartEnd:
+	case OpTickEnd, OpStartEnd, OpEnd:
 		// no operands
 	default:
 		if w.err == nil {
@@ -333,8 +497,15 @@ func (w *Writer) Flush() error {
 	return w.err
 }
 
-// Close flushes and closes any underlying file opened by Create.
+// Close writes the end-of-stream marker (v2+ traces), flushes, and
+// closes any underlying file opened by Create.
 func (w *Writer) Close() error {
+	if !w.closed {
+		w.closed = true
+		if w.version >= 2 {
+			w.WriteEvent(Event{Op: OpEnd})
+		}
+	}
 	w.Flush()
 	for _, c := range w.closers {
 		if err := c.Close(); err != nil && w.err == nil {
@@ -372,10 +543,15 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (r *Reader) Header() Header { return r.h }
 
 // Next decodes the next event. It returns io.EOF at the end of the
-// stream; any other error means the trace is malformed.
+// stream; any other error means the trace is malformed. Version-2
+// streams end with an explicit OpEnd marker, so running out of bytes
+// without one is reported as truncation, not a clean end.
 func (r *Reader) Next() (Event, error) {
 	op, err := r.br.ReadByte()
 	if err == io.EOF {
+		if r.h.Version >= 2 {
+			return Event{}, fmt.Errorf("trace: stream truncated (no end marker)")
+		}
 		return Event{}, io.EOF
 	}
 	if err != nil {
@@ -383,6 +559,8 @@ func (r *Reader) Next() (Event, error) {
 	}
 	e := Event{Op: Op(op)}
 	switch e.Op {
+	case OpEnd:
+		return Event{}, io.EOF
 	case OpMmap, OpMunmap:
 		start, err := binary.ReadUvarint(r.br)
 		if err != nil {

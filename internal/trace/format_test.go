@@ -10,6 +10,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/tier"
 	"tppsim/internal/xrand"
 )
 
@@ -233,6 +234,134 @@ func TestRejectsCorruptInput(t *testing.T) {
 		}
 		if err != nil {
 			break
+		}
+	}
+}
+
+func TestHeaderTopologyRoundTrip(t *testing.T) {
+	topo, err := tier.PresetExpander(2, 1, 1).Build(16*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := topo.Spec()
+	h := testHeader()
+	h.Topology = &spec
+	raw := writeStream(t, h, genEvents(100))
+	tr, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Header.Topology
+	if got == nil {
+		t.Fatal("topology lost in round trip")
+	}
+	if got.Name != spec.Name || got.DemoteScaleFactor != spec.DemoteScaleFactor ||
+		len(got.Nodes) != len(spec.Nodes) {
+		t.Fatalf("topology mismatch: %+v", got)
+	}
+	for i := range spec.Nodes {
+		if got.Nodes[i] != spec.Nodes[i] {
+			t.Errorf("node %d: got %+v want %+v", i, got.Nodes[i], spec.Nodes[i])
+		}
+		for j := range spec.Nodes {
+			if got.Distance[i][j] != spec.Distance[i][j] {
+				t.Errorf("distance[%d][%d] = %d, want %d", i, j, got.Distance[i][j], spec.Distance[i][j])
+			}
+		}
+	}
+	// The recorded spec must rebuild the identical machine.
+	rebuilt, err := got.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.NumNodes(); i++ {
+		id := mem.NodeID(i)
+		if rebuilt.Node(id).Capacity != topo.Node(id).Capacity || rebuilt.Node(id).WM != topo.Node(id).WM {
+			t.Errorf("rebuilt node %d differs", i)
+		}
+	}
+}
+
+func TestUnresolvedTopologyRejectedAtWrite(t *testing.T) {
+	// Preset specs carry ratio Shares and a nil Distance matrix; the
+	// binary block only represents resolved machines, so writing one
+	// must fail loudly instead of emitting a block the reader would
+	// misparse as event bytes.
+	h := testHeader()
+	unresolved := tier.PresetCXL(2, 1)
+	h.Topology = &unresolved
+	var buf bytes.Buffer
+	w := NewWriter(&buf, h)
+	if w.Err() == nil {
+		t.Fatal("unresolved (Share-based) topology accepted")
+	}
+	topo, err := tier.PresetCXL(2, 1).Build(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := topo.Spec()
+	resolved.Distance = nil
+	h.Topology = &resolved
+	if w := NewWriter(&buf, h); w.Err() == nil {
+		t.Fatal("nil distance matrix accepted")
+	}
+}
+
+func TestV1TraceCompat(t *testing.T) {
+	// Version-1 traces have no topology block and no end marker; they
+	// must still load, stream cleanly to EOF, and re-save as v1.
+	h := testHeader()
+	h.Version = 1
+	events := genEvents(200)
+	raw := writeStream(t, h, events)
+	tr, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Version != 1 || tr.Header.Topology != nil {
+		t.Fatalf("v1 header parsed as %+v", tr.Header)
+	}
+	got := readAll(t, tr.Events())
+	if len(got) != len(events) {
+		t.Fatalf("event count %d, want %d", len(got), len(events))
+	}
+	path := filepath.Join(t.TempDir(), "v1.trace")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Header.Version != 1 {
+		t.Fatalf("re-saved v1 trace relabeled to version %d", tr2.Header.Version)
+	}
+}
+
+func TestTruncationAlwaysDetected(t *testing.T) {
+	// Version-2 streams end with an explicit OpEnd marker, so truncation
+	// is detected at EVERY cut point of the event stream — including cuts
+	// that land exactly on an event boundary.
+	raw := writeStream(t, testHeader(), genEvents(60))
+	full, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := len(raw) - full.Size()
+	for cut := headerLen; cut < len(raw); cut++ {
+		tr, err := Decode(raw[:cut])
+		if err != nil {
+			continue // header-region cuts may fail outright: also fine
+		}
+		r := tr.Events()
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				t.Fatalf("cut at %d/%d read cleanly to EOF", cut, len(raw))
+			}
+			if err != nil {
+				break
+			}
 		}
 	}
 }

@@ -65,6 +65,7 @@ type regionKey struct {
 var _ workload.Workload = (*Replayer)(nil)
 var _ workload.DirtyModel = (*Replayer)(nil)
 var _ workload.ErrorReporter = (*Replayer)(nil)
+var _ workload.BatchAccessor = (*Replayer)(nil)
 
 // Replayer returns a fresh replaying workload over the trace. Each call
 // is independent; build one per machine when comparing policies.
@@ -194,6 +195,57 @@ func (r *Replayer) NextAccess(ctx workload.Ctx, tick uint64) (pagetable.VPN, boo
 		return 0, false
 	}
 	return v, true
+}
+
+// NextAccessBatch implements workload.BatchAccessor: decode the tick's
+// recorded accesses straight off the event stream into buf, stopping at
+// the first non-access event (left pending for Tick/drain) or a full
+// buffer. Draw-for-draw identical to calling NextAccess len(buf) times
+// — replay draws depend only on the trace and the live-region table,
+// never on machine state mutated mid-tick — but skips the per-event
+// peek/consume bookkeeping (and its pending-event allocation), so the
+// simulator's fused batch loop can drive replays at profile speed.
+func (r *Replayer) NextAccessBatch(ctx workload.Ctx, tick uint64, buf []pagetable.VPN) int {
+	if r.exhausted {
+		return 0
+	}
+	n := 0
+	if r.pending != nil {
+		if r.pending.Op != OpAccess {
+			return 0
+		}
+		v, found := r.translate(r.pending.VPN)
+		if !found {
+			r.fail(fmt.Errorf("trace: access %d outside every live region", r.pending.VPN))
+			return 0
+		}
+		r.pending = nil
+		buf[n] = v
+		n++
+	}
+	for n < len(buf) {
+		e, err := r.r.Next()
+		if err != nil {
+			if err != io.EOF {
+				r.fail(err)
+			} else {
+				r.exhausted = true
+			}
+			return n
+		}
+		if e.Op != OpAccess {
+			r.pending = &e
+			return n
+		}
+		v, found := r.translate(e.VPN)
+		if !found {
+			r.fail(fmt.Errorf("trace: access %d outside every live region", e.VPN))
+			return n
+		}
+		buf[n] = v
+		n++
+	}
+	return n
 }
 
 // DirtyProb implements workload.DirtyModel from the per-region

@@ -74,6 +74,12 @@ const (
 	PgmigrateSuccess
 	PgmigrateFail
 
+	// Multi-tier cascade (simulator extension): demotions landing in a
+	// far tier (tier rank >= 2) and promotions leaving one. Zero on the
+	// paper's 2-node machine.
+	PgdemoteFar
+	PgpromoteFar
+
 	numCounters
 )
 
@@ -124,6 +130,9 @@ var names = [NumCounters]string{
 
 	PgmigrateSuccess: "pgmigrate_success",
 	PgmigrateFail:    "pgmigrate_fail",
+
+	PgdemoteFar:  "pgdemote_far",
+	PgpromoteFar: "pgpromote_far",
 }
 
 // String returns the counter's /proc/vmstat-style name.

@@ -6,18 +6,35 @@
 // paper's baselines (default Linux, NUMA Balancing, AutoTiering, TMO) as
 // policies over that machine.
 //
-// Quick start:
+// Quick start — machines are described topology-first: pick a preset (or
+// declare your own Topology of N nodes with capacities, latencies, and a
+// distance matrix) and run a workload under a policy on it:
 //
 //	wl := tppsim.Workloads["Cache1"](tppsim.DefaultWorkingSet)
 //	m, err := tppsim.NewMachine(tppsim.MachineConfig{
 //		Policy:   tppsim.TPP(),
 //		Workload: wl,
-//		Ratio:    [2]uint64{2, 1}, // local:CXL capacity
+//		Topology: tppsim.TopologyCXL(2, 1), // the paper's box, local:CXL 2:1
 //		Minutes:  30,
 //	})
 //	if err != nil { ... }
 //	res := m.Run()
 //	fmt.Println(res) // normalized throughput, local traffic, latency
+//
+// Presets: TopologyCXL is the paper's 2-node machine (and the default
+// when no topology is given); TopologyDualSocket is the §7 multi-socket
+// system (2 CPU sockets, each with a CXL expander); TopologyExpander is
+// a 3-tier multi-hop machine (local DRAM → near CXL → far CXL) on which
+// reclaim cascades downward tier by tier and promotion climbs back up
+// one hop per NUMA hint fault. Custom machines set Topology.Nodes
+// directly — per-node capacity as absolute Pages or working-set ratio
+// Shares, kind, load latency, bandwidth — plus a NUMA distance matrix;
+// node tiers are derived from each node's distance to the nearest CPU.
+//
+// The legacy two-node sugar (MachineConfig.Ratio, LocalPages/CXLPages,
+// CXLLatencyNs) is deprecated but still works and maps onto
+// TopologyCXL; Ratio{2,1} remains the default. Per-node latency
+// overrides (MachineConfig.NodeLatencyNs) supersede CXLLatencyNs.
 //
 // The exported surface is intentionally thin: policies come from
 // constructors (TPP, DefaultLinux, ...) with ablation Options; workloads
@@ -50,16 +67,58 @@
 package tppsim
 
 import (
+	"fmt"
+
 	"tppsim/internal/core"
 	"tppsim/internal/experiments"
+	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/sim"
+	"tppsim/internal/tier"
 	"tppsim/internal/trace"
 	"tppsim/internal/workload"
 )
 
 // DefaultWorkingSet is the default scaled working-set size in 4 KB pages.
 const DefaultWorkingSet = workload.DefaultTotalPages
+
+// Topology declares a machine: N memory nodes with per-node capacity,
+// kind, performance traits, and a NUMA distance matrix. Set it on
+// MachineConfig.Topology, starting from a preset or from scratch.
+type Topology = tier.Spec
+
+// TopologyNode declares one node of a Topology.
+type TopologyNode = tier.NodeSpec
+
+// NodeKind distinguishes CPU-attached DRAM from CPU-less CXL memory in
+// a TopologyNode.
+type NodeKind = mem.NodeKind
+
+// Node kinds for custom topologies.
+const (
+	KindLocal = mem.KindLocal
+	KindCXL   = mem.KindCXL
+)
+
+// Topology presets (see internal/tier for the underlying machines).
+var (
+	// TopologyCXL is the paper's 2-node box: one CPU-attached local node
+	// and one CXL node, sized localShare:cxlShare over the working set.
+	TopologyCXL = tier.PresetCXL
+	// TopologyDualSocket is the §7 multi-socket system: two CPU sockets,
+	// each with its own DRAM and CXL expander.
+	TopologyDualSocket = tier.PresetDualSocket
+	// TopologyExpander is the 3-tier multi-hop machine: local DRAM, a
+	// near CXL expander, and a far (switched) CXL expander behind it.
+	TopologyExpander = tier.PresetExpander
+)
+
+// TopologyPresets lists the preset names usable with TopologyPreset.
+func TopologyPresets() []string { return tier.PresetNames() }
+
+// TopologyPreset returns the named preset ("cxl", "dualsocket",
+// "expander") with its default shares.
+func TopologyPreset(name string) (Topology, bool) { return tier.Preset(name) }
 
 // MachineConfig configures one simulation run; it is sim.Config.
 type MachineConfig = sim.Config
@@ -151,25 +210,51 @@ func Record(cfg MachineConfig, path string) (*RunResult, error) {
 }
 
 // Replay loads the trace at path and runs it as cfg's workload; any
-// Workload already set in cfg is ignored. When cfg.Minutes is zero the
-// run length defaults to the trace's own length (not the simulator's
-// 60-minute default), so the scalars are never diluted by idle ticks
-// after the trace runs out; set Minutes explicitly (and use a looping
-// Replayer from OpenTrace) to run longer. Replaying under the recording
+// Workload already set in cfg is ignored. At most one ReplayOptions
+// value tunes the replay: Loop wraps the trace when the run outlasts it,
+// MaxTicks truncates it to a prefix.
+//
+// When cfg.Minutes is zero the run length defaults to the (truncated)
+// trace's own length (not the simulator's 60-minute default), so the
+// scalars are never diluted by idle ticks after the trace runs out; set
+// Minutes explicitly with Loop to run longer. When cfg specifies no
+// machine sizing of its own (no Topology, Ratio, or LocalPages) and the
+// trace was recorded by the simulator, the recorded topology is adopted,
+// rebuilding the recorded machine exactly. Replaying under the recording
 // run's policy, seed, and machine configuration reproduces its scalar
 // results exactly; changing the policy replays the identical access
 // stream under the new mechanism.
-func Replay(path string, cfg MachineConfig) (*RunResult, error) {
+func Replay(path string, cfg MachineConfig, opts ...ReplayOptions) (*RunResult, error) {
+	if len(opts) > 1 {
+		return nil, fmt.Errorf("tppsim: Replay takes at most one ReplayOptions, got %d", len(opts))
+	}
 	tr, err := OpenTrace(path)
 	if err != nil {
 		return nil, err
 	}
+	var o ReplayOptions
+	if len(opts) == 1 {
+		o = opts[0]
+	}
 	if cfg.Minutes == 0 {
-		if ticks := tr.Ticks(); ticks > 0 {
+		ticks := tr.Ticks()
+		if o.MaxTicks > 0 && o.MaxTicks < ticks {
+			ticks = o.MaxTicks
+		}
+		if ticks > 0 {
 			cfg.Minutes = int((ticks + workload.TicksPerMinute - 1) / workload.TicksPerMinute)
 		}
 	}
-	cfg.Workload = tr.Replayer(ReplayOptions{})
+	if len(cfg.Topology.Nodes) == 0 && cfg.Ratio == [2]uint64{} &&
+		cfg.LocalPages == 0 && cfg.CXLPages == 0 && cfg.CXLLatencyNs == 0 {
+		// No sizing or legacy latency override of any kind: rebuild the
+		// recorded machine. A CXLLatencyNs override keeps the legacy
+		// 2-node machine it applies to.
+		if ts := tr.Header.Topology; ts != nil {
+			cfg.Topology = *ts
+		}
+	}
+	cfg.Workload = tr.Replayer(o)
 	m, err := sim.New(cfg)
 	if err != nil {
 		return nil, err

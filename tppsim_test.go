@@ -100,6 +100,75 @@ func TestRecordReplayFacade(t *testing.T) {
 	}
 }
 
+// TestReplayOptionsFacade exercises the exported loop/truncate options
+// and the recorded-topology adoption: a machine recorded on the 3-tier
+// expander replays on the identical machine when the caller specifies no
+// sizing, reproducing the recorded scalars exactly.
+func TestReplayOptionsFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "expander.trace")
+	cfg := MachineConfig{
+		Seed:     11,
+		Policy:   TPP(),
+		Workload: Workloads["Cache2"](4 * 1024),
+		Topology: TopologyExpander(2, 1, 1),
+		Minutes:  4,
+	}
+	base, err := Record(cfg, path)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if base.Failed {
+		t.Fatalf("recorded run failed: %s", base.FailReason)
+	}
+
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Topology == nil || len(tr.Header.Topology.Nodes) != 3 {
+		t.Fatalf("trace did not record the 3-node topology: %+v", tr.Header.Topology)
+	}
+
+	// No sizing in the replay config: the recorded machine is rebuilt,
+	// so the replay reproduces the recorded run exactly.
+	rep, err := Replay(path, MachineConfig{Seed: 11, Policy: TPP()})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.NormalizedThroughput != base.NormalizedThroughput ||
+		rep.AvgLocalTraffic != base.AvgLocalTraffic ||
+		rep.AvgLatencyNs != base.AvgLatencyNs {
+		t.Fatalf("adopted-topology replay diverged: recorded %v/%v/%v, replayed %v/%v/%v",
+			base.NormalizedThroughput, base.AvgLocalTraffic, base.AvgLatencyNs,
+			rep.NormalizedThroughput, rep.AvgLocalTraffic, rep.AvgLatencyNs)
+	}
+
+	// Truncate to the first minute of the trace.
+	short, err := Replay(path, MachineConfig{Seed: 11, Policy: TPP()},
+		ReplayOptions{MaxTicks: 60})
+	if err != nil {
+		t.Fatalf("Replay truncated: %v", err)
+	}
+	if short.Failed {
+		t.Fatalf("truncated replay failed: %s", short.FailReason)
+	}
+
+	// Loop a 4-minute trace through an 8-minute run.
+	looped, err := Replay(path, MachineConfig{Seed: 11, Policy: DefaultLinux(), Minutes: 8},
+		ReplayOptions{Loop: true})
+	if err != nil {
+		t.Fatalf("Replay looped: %v", err)
+	}
+	if looped.Failed {
+		t.Fatalf("looped replay failed: %s", looped.FailReason)
+	}
+
+	if _, err := Replay(path, MachineConfig{Seed: 11, Policy: TPP()},
+		ReplayOptions{}, ReplayOptions{}); err == nil {
+		t.Fatal("two ReplayOptions values accepted")
+	}
+}
+
 func TestExperimentRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, s := range Experiments() {
