@@ -28,7 +28,9 @@ import (
 	"strings"
 
 	"tppsim/internal/core"
+	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
+	"tppsim/internal/report"
 	"tppsim/internal/sim"
 	"tppsim/internal/tier"
 	"tppsim/internal/trace"
@@ -45,7 +47,8 @@ func main() {
 		minutes  = flag.Int("minutes", 60, "simulated minutes")
 		pages    = flag.Uint64("pages", workload.DefaultTotalPages, "working-set size in 4KB pages")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters")
+		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters (per node on multi-node machines)")
+		nodesFl  = flag.Bool("nodes", false, "print the per-node residency/counter table")
 		series   = flag.Bool("series", false, "dump the local-traffic time series as CSV")
 		list     = flag.Bool("list", false, "list catalog workloads and exit")
 		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
@@ -166,8 +169,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
 			os.Exit(1)
 		}
+		if *nodesFl {
+			fmt.Print(report.NodeTable(res).String())
+		}
 		if *vmstatFl {
-			fmt.Print(indent(m.Stat().Snapshot().String()))
+			st := m.Stat()
+			fmt.Print(indent(st.Snapshot().String()))
+			if st.NumNodes() > 1 {
+				for n := 0; n < st.NumNodes(); n++ {
+					fmt.Printf("  node%d:\n", n)
+					fmt.Print(indent(indent(st.NodeSnapshot(mem.NodeID(n)).String())))
+				}
+			}
 		}
 		if *series {
 			dumpSeries(&res.LocalTraffic)

@@ -43,6 +43,11 @@ func main() {
 				mt.Node(id).Resident(), eng.DemotedInto(id), eng.PromotedFrom(id))
 		}
 		fmt.Println()
+		// The node-indexed vmstat plane breaks the same story down by
+		// kernel counter: every column sums exactly to the run's global
+		// vmstat value.
+		fmt.Print(tppsim.NodeTable(res).String())
+		fmt.Println()
 	}
 	fmt.Println("Under TPP the far tier is a working rung of the cascade: cold pages")
 	fmt.Println("demote into it hop by hop and hot pages climb back out via near-CXL")

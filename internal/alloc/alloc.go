@@ -50,7 +50,7 @@ type Allocator struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 
 	// WakeKswapd is invoked (if non-nil) when an allocation observes the
 	// preferred node under pressure. Wired to the reclaim daemon.
@@ -62,7 +62,7 @@ type Allocator struct {
 }
 
 // New returns an allocator over the machine.
-func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.Stat) *Allocator {
+func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.NodeStats) *Allocator {
 	return &Allocator{cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat}
 }
 
@@ -140,7 +140,7 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 	// Pass 3: direct reclaim on the preferred node, then take anything.
 	var stall float64
 	if a.DirectReclaim != nil {
-		a.stat.Inc(vmstat.PgallocStall)
+		a.stat.Inc(preferred, vmstat.PgallocStall)
 		_, stall = a.DirectReclaim(preferred, 1)
 	}
 	for _, id := range order {
@@ -164,9 +164,9 @@ func (a *Allocator) finish(t mem.PageType, id mem.NodeID, stall float64) Result 
 	pfn := a.store.Alloc(t, id)
 	a.vecs[id].Add(pfn, false)
 	if a.topo.Node(id).Kind == mem.KindCXL {
-		a.stat.Inc(vmstat.PgallocCXL)
+		a.stat.Inc(id, vmstat.PgallocCXL)
 	} else {
-		a.stat.Inc(vmstat.PgallocLocal)
+		a.stat.Inc(id, vmstat.PgallocLocal)
 	}
 	// Also wake kswapd when the fast path left the node under pressure,
 	// so background reclaim keeps the headroom ahead of the next burst.
@@ -184,5 +184,5 @@ func (a *Allocator) FreePage(pfn mem.PFN) {
 	}
 	a.topo.Node(id).Release(pg.Type)
 	a.store.Free(pfn)
-	a.stat.Inc(vmstat.PgfreeCt)
+	a.stat.Inc(id, vmstat.PgfreeCt)
 }

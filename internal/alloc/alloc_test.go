@@ -14,7 +14,7 @@ type fixture struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	a     *Allocator
 }
 
@@ -29,7 +29,7 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64) *fixture 
 	for i := range vecs {
 		vecs[i] = lru.NewVec(store)
 	}
-	stat := vmstat.New()
+	stat := vmstat.NewNodeStats(topo.NumNodes())
 	return &fixture{store, topo, vecs, stat, New(cfg, store, topo, vecs, stat)}
 }
 

@@ -20,6 +20,13 @@
 //     fires". We model that instability: when promotion pressure stays
 //     unresolved (no free buffer slots, local node at its emergency
 //     reserve) for several consecutive epochs, the run fails.
+//
+// The daemon is topology-aware: every CPU-attached node runs its own
+// frequency-ranked demotion pass down its distance-ordered cascade
+// (tier.Topology.DemotionTargets) and carries its own reserved promotion
+// buffer, so the baseline runs unchanged on the paper's 2-node box, the
+// dual-socket machine (each socket demotes to its near expander), and
+// the multi-hop expander chain.
 package autotiering
 
 import (
@@ -37,19 +44,19 @@ type Config struct {
 	// EpochTicks is the access-frequency ranking period. Default 50
 	// (5 simulated seconds at 100 ms ticks).
 	EpochTicks uint64
-	// BufferFraction sizes the reserved promotion buffer as a fraction of
-	// the local node. Default 0.04.
+	// BufferFraction sizes each CPU node's reserved promotion buffer as
+	// a fraction of that node. Default 0.04.
 	BufferFraction float64
-	// DemoteBatch bounds pages demoted per epoch. Default 64 — the
-	// frequency ranking needs a full epoch of counters per batch, which
-	// is the "timer-based hot page detection … computation overhead" the
-	// paper criticizes (§8).
+	// DemoteBatch bounds pages demoted per CPU node per epoch. Default
+	// 64 — the frequency ranking needs a full epoch of counters per
+	// batch, which is the "timer-based hot page detection … computation
+	// overhead" the paper criticizes (§8).
 	DemoteBatch int
 	// CrashEpochs is how many consecutive starved epochs (promotion
 	// demand with zero slots) the implementation survives on a
-	// too-small local node before failing. Default 3.
+	// too-small local tier before failing. Default 3.
 	CrashEpochs int
-	// MinLocalFraction is the smallest local-node share of total memory
+	// MinLocalFraction is the smallest CPU-tier share of total memory
 	// the implementation tolerates: below it, sustained promotion
 	// starvation crashes the run. The paper reports the crash at 1:4
 	// (local = 20%) without a diagnosis, so the boundary is modeled as a
@@ -76,40 +83,76 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// socket is the per-CPU-node state: that node's reserved promotion
+// buffer and its demotion cascade from the distance matrix.
+type socket struct {
+	node           mem.NodeID
+	bufferSlots    int
+	bufferCapacity int
+	demoteTo       []mem.NodeID
+}
+
 // Tiering is the AutoTiering daemon.
 type Tiering struct {
 	cfg    Config
 	store  *mem.Store
 	topo   *tier.Topology
 	vecs   []*lru.Vec
-	stat   *vmstat.Stat
+	stat   *vmstat.NodeStats
 	engine *migrate.Engine
 
-	bufferSlots    int // free promotion-buffer slots
-	bufferCapacity int
-	sinceEpoch     uint64
-	starvedEpochs  int
-	starvedNow     bool
-	failed         bool
+	// sockets holds one entry per CPU-attached node, in node-ID order;
+	// socketOf maps a node ID to its index (-1 for CPU-less nodes).
+	sockets  []socket
+	socketOf []int
+
+	sinceEpoch    uint64
+	starvedEpochs int
+	starvedNow    bool
+	failed        bool
+
+	// epoch-pass scratch, reused across epochs.
+	cands []cand
+	pfns  []mem.PFN
 }
 
-// New wires the baseline over a machine. The promotion buffer is a slot
-// budget backed by headroom the epoch demotion pass tries to maintain on
-// the local node (free >= high watermark + buffer); slots are consumed by
-// promotions and replenished one-for-one by demotions.
+type cand struct {
+	pfn  mem.PFN
+	freq uint32
+}
+
+// New wires the baseline over a machine. Every CPU-attached node gets a
+// promotion buffer — a slot budget backed by headroom the epoch demotion
+// pass tries to maintain on that node (free >= high watermark + buffer);
+// slots are consumed by promotions into the node and replenished
+// one-for-one by demotions off it. Demotion targets come from the
+// topology's distance-ordered cascade, not a hardwired nearest-CXL
+// assumption, so the daemon runs on any tier.Spec.
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
-	stat *vmstat.Stat, engine *migrate.Engine) *Tiering {
+	stat *vmstat.NodeStats, engine *migrate.Engine) *Tiering {
 	t := &Tiering{
-		cfg:    cfg.withDefaults(),
-		store:  store,
-		topo:   topo,
-		vecs:   vecs,
-		stat:   stat,
-		engine: engine,
+		cfg:      cfg.withDefaults(),
+		store:    store,
+		topo:     topo,
+		vecs:     vecs,
+		stat:     stat,
+		engine:   engine,
+		socketOf: make([]int, topo.NumNodes()),
 	}
-	local := topo.Node(0)
-	t.bufferCapacity = int(float64(local.Capacity) * t.cfg.BufferFraction)
-	t.bufferSlots = t.bufferCapacity
+	for i := range t.socketOf {
+		t.socketOf[i] = -1
+	}
+	for _, id := range topo.LocalNodes() {
+		n := topo.Node(id)
+		capSlots := int(float64(n.Capacity) * t.cfg.BufferFraction)
+		t.socketOf[id] = len(t.sockets)
+		t.sockets = append(t.sockets, socket{
+			node:           id,
+			bufferSlots:    capSlots,
+			bufferCapacity: capSlots,
+			demoteTo:       topo.DemotionTargets(id),
+		})
+	}
 	return t
 }
 
@@ -117,24 +160,46 @@ func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 // behaviour). Once failed, the simulator aborts the run.
 func (t *Tiering) Failed() bool { return t.failed }
 
-// BufferSlots returns the free promotion-buffer slots (for tests and
-// observability).
-func (t *Tiering) BufferSlots() int { return t.bufferSlots }
+// BufferSlots returns the free promotion-buffer slots summed over every
+// CPU node (for tests and observability).
+func (t *Tiering) BufferSlots() int {
+	total := 0
+	for i := range t.sockets {
+		total += t.sockets[i].bufferSlots
+	}
+	return total
+}
 
-// PromotionGate is plugged into numab.Config.PromotionGate: promotions
-// may proceed only while buffer slots remain.
-func (t *Tiering) PromotionGate() bool {
-	if t.bufferSlots > 0 {
+// NodeBufferSlots returns the free promotion-buffer slots of one CPU
+// node (0 for CPU-less nodes).
+func (t *Tiering) NodeBufferSlots(id mem.NodeID) int {
+	if i := t.socketOf[id]; i >= 0 {
+		return t.sockets[i].bufferSlots
+	}
+	return 0
+}
+
+// PromotionGate is plugged into numab.Config.PromotionGate: a promotion
+// into a CPU node may proceed only while that node's buffer has slots.
+// Promotions between CPU-less tiers (multi-hop climbs that have not
+// reached the CPU tier yet) are not buffer-constrained.
+func (t *Tiering) PromotionGate(target mem.NodeID) bool {
+	i := t.socketOf[target]
+	if i < 0 {
+		return true
+	}
+	if t.sockets[i].bufferSlots > 0 {
 		return true
 	}
 	t.starvedNow = true
 	return false
 }
 
-// OnPromoted consumes a buffer slot (numab.Config.OnPromoted).
-func (t *Tiering) OnPromoted() {
-	if t.bufferSlots > 0 {
-		t.bufferSlots--
+// OnPromoted consumes a buffer slot on the target CPU node
+// (numab.Config.OnPromoted).
+func (t *Tiering) OnPromoted(target mem.NodeID) {
+	if i := t.socketOf[target]; i >= 0 && t.sockets[i].bufferSlots > 0 {
+		t.sockets[i].bufferSlots--
 	}
 }
 
@@ -148,8 +213,9 @@ func (t *Tiering) RecordAccess(pfn mem.PFN) {
 }
 
 // Tick advances the epoch clock. On epoch boundaries it runs the
-// frequency-ranked demotion pass, replenishes buffer slots, updates the
-// crash heuristic, and resets counters. Returns background CPU ns.
+// frequency-ranked demotion pass on every CPU node, replenishes buffer
+// slots, updates the crash heuristic, and resets counters. Returns
+// background CPU ns.
 func (t *Tiering) Tick() float64 {
 	if t.failed {
 		return 0
@@ -159,13 +225,20 @@ func (t *Tiering) Tick() float64 {
 		return 0
 	}
 	t.sinceEpoch = 0
-	spent := t.epoch()
+	spent := 0.0
+	for i := range t.sockets {
+		spent += t.epoch(&t.sockets[i])
+	}
 
 	// Crash heuristic: an epoch during which promotions were refused for
-	// lack of buffer slots is "starved". On a local node below the
+	// lack of buffer slots is "starved". On a CPU tier below the
 	// implementation's tolerated share of total memory, several starved
 	// epochs in a row crash it (the paper's 1:4 failure).
-	localShare := float64(t.topo.Node(0).Capacity) / float64(t.topo.TotalCapacity())
+	var localCap uint64
+	for i := range t.sockets {
+		localCap += t.topo.Node(t.sockets[i].node).Capacity
+	}
+	localShare := float64(localCap) / float64(t.topo.TotalCapacity())
 	if t.starvedNow && localShare < t.cfg.MinLocalFraction {
 		t.starvedEpochs++
 		if t.starvedEpochs >= t.cfg.CrashEpochs {
@@ -178,61 +251,67 @@ func (t *Tiering) Tick() float64 {
 	return spent
 }
 
-// epoch performs the frequency-ranked demotion pass on the local node.
-func (t *Tiering) epoch() float64 {
+// epoch performs the frequency-ranked demotion pass on one CPU node.
+func (t *Tiering) epoch(s *socket) float64 {
 	const rankNsPerPage = 120 // counter scan cost: the paper's "computation overhead"
-	local := t.topo.Node(0)
-	demoteTo := t.topo.DemotionTarget(local.ID)
+	local := t.topo.Node(s.node)
 	spent := 0.0
 
 	// Collect candidate pages (both LRU classes, both lists) with their
 	// frequencies. AutoTiering scans everything — that is its overhead.
-	type cand struct {
-		pfn  mem.PFN
-		freq uint32
-	}
-	var cands []cand
-	var pfns []mem.PFN
-	vec := t.vecs[local.ID]
+	t.cands = t.cands[:0]
+	vec := t.vecs[s.node]
 	for id := lru.ListID(0); id < lru.ListID(lru.NumLists); id++ {
-		pfns = vec.TailBatch(id, int(vec.Size(id)), pfns[:0])
-		for _, pfn := range pfns {
-			cands = append(cands, cand{pfn, t.store.Page(pfn).AccessEpoch})
+		t.pfns = vec.TailBatch(id, int(vec.Size(id)), t.pfns[:0])
+		for _, pfn := range t.pfns {
+			t.cands = append(t.cands, cand{pfn, t.store.Page(pfn).AccessEpoch})
 		}
 	}
-	spent += float64(len(cands)) * rankNsPerPage
+	spent += float64(len(t.cands)) * rankNsPerPage
 
-	// Demote the coldest pages while the node is under pressure.
-	if demoteTo != mem.NilNode && local.Free() < local.WM.High+uint64(t.bufferCapacity) {
+	// Demote the coldest pages down the node's cascade while the node is
+	// under pressure. Only a full target advances the cascade —
+	// page-transient failures skip to the next candidate, as in reclaim.
+	if len(s.demoteTo) > 0 && local.Free() < local.WM.High+uint64(s.bufferCapacity) {
+		cands := t.cands
 		sort.Slice(cands, func(i, j int) bool { return cands[i].freq < cands[j].freq })
 		demoted := 0
 		for _, c := range cands {
 			if demoted >= t.cfg.DemoteBatch {
 				break
 			}
-			if local.Free() >= local.WM.High+uint64(t.bufferCapacity) {
+			if local.Free() >= local.WM.High+uint64(s.bufferCapacity) {
 				break
 			}
 			if c.freq > 0 {
 				// Only demote cold (zero-frequency) pages; warm pages stay.
 				break
 			}
-			cost, err := t.engine.Migrate(c.pfn, demoteTo, migrate.Demotion)
-			if err != nil {
+			ok := false
+			for _, dst := range s.demoteTo {
+				cost, err := t.engine.Migrate(c.pfn, dst, migrate.Demotion)
+				if err == nil {
+					spent += cost
+					ok = true
+				}
+				if err != migrate.ErrTargetFull {
+					break
+				}
+			}
+			if !ok {
 				continue
 			}
-			spent += cost
 			demoted++
-			t.stat.Inc(vmstat.PgdemoteKswapd)
+			t.stat.Inc(s.node, vmstat.PgdemoteKswapd)
 			// A demotion replenishes one promotion-buffer slot.
-			if t.bufferSlots < t.bufferCapacity {
-				t.bufferSlots++
+			if s.bufferSlots < s.bufferCapacity {
+				s.bufferSlots++
 			}
 		}
 	}
 
 	// Reset the epoch counters.
-	for _, c := range cands {
+	for _, c := range t.cands {
 		t.store.Page(c.pfn).AccessEpoch = 0
 	}
 	return spent

@@ -15,7 +15,7 @@ type fixture struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	at    *Tiering
 }
 
@@ -30,7 +30,7 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64) *fixture 
 	for i := range vecs {
 		vecs[i] = lru.NewVec(store)
 	}
-	stat := vmstat.New()
+	stat := vmstat.NewNodeStats(topo.NumNodes())
 	eng := migrate.NewEngine(migrate.Config{RefsFailProb: -1}, store, topo, vecs, stat, xrand.New(1))
 	at := New(cfg, store, topo, vecs, stat, eng)
 	return &fixture{store, topo, vecs, stat, at}
@@ -106,15 +106,15 @@ func TestPromotionBufferSlots(t *testing.T) {
 	if f.at.BufferSlots() != 2 {
 		t.Fatalf("buffer slots = %d, want 2", f.at.BufferSlots())
 	}
-	if !f.at.PromotionGate() {
+	if !f.at.PromotionGate(0) {
 		t.Fatal("gate closed with slots free")
 	}
-	f.at.OnPromoted()
-	f.at.OnPromoted()
+	f.at.OnPromoted(0)
+	f.at.OnPromoted(0)
 	if f.at.BufferSlots() != 0 {
 		t.Fatal("slots not consumed")
 	}
-	if f.at.PromotionGate() {
+	if f.at.PromotionGate(0) {
 		t.Fatal("gate open with no slots")
 	}
 }
@@ -125,7 +125,7 @@ func TestDemotionReplenishesSlots(t *testing.T) {
 	f.populate(t, 0, int(local.Capacity)-5)
 	// Drain the buffer.
 	for f.at.BufferSlots() > 0 {
-		f.at.OnPromoted()
+		f.at.OnPromoted(0)
 	}
 	f.runEpochs(1)
 	if f.at.BufferSlots() == 0 {
@@ -139,14 +139,14 @@ func TestCrashOnSmallLocalNode(t *testing.T) {
 	f := newFixture(t, Config{CrashEpochs: 3, BufferFraction: 0.02}, 1000, 4000)
 	pfns := f.populate(t, 0, 500)
 	for f.at.BufferSlots() > 0 {
-		f.at.OnPromoted()
+		f.at.OnPromoted(0)
 	}
 	for e := 0; e < 5; e++ {
 		for _, pfn := range pfns {
 			f.at.RecordAccess(pfn) // hot: demotion finds no candidates
 		}
 		// Starved promotion demand each epoch.
-		f.at.PromotionGate()
+		f.at.PromotionGate(0)
 		f.runEpochs(1)
 		if f.at.Failed() {
 			break
@@ -167,13 +167,13 @@ func TestNoCrashOnLargeLocalNode(t *testing.T) {
 	f := newFixture(t, Config{CrashEpochs: 3, BufferFraction: 0.02}, 1000, 500)
 	pfns := f.populate(t, 0, 500)
 	for f.at.BufferSlots() > 0 {
-		f.at.OnPromoted()
+		f.at.OnPromoted(0)
 	}
 	for e := 0; e < 6; e++ {
 		for _, pfn := range pfns {
 			f.at.RecordAccess(pfn)
 		}
-		f.at.PromotionGate()
+		f.at.PromotionGate(0)
 		f.runEpochs(1)
 	}
 	if f.at.Failed() {
@@ -185,13 +185,13 @@ func TestStarvationRecoveryResetsCounter(t *testing.T) {
 	f := newFixture(t, Config{CrashEpochs: 2, BufferFraction: 0.02}, 1000, 4000)
 	f.populate(t, 0, 500)
 	for f.at.BufferSlots() > 0 {
-		f.at.OnPromoted()
+		f.at.OnPromoted(0)
 	}
 	// One starved epoch, then a quiet epoch: counter must reset.
-	f.at.PromotionGate()
+	f.at.PromotionGate(0)
 	f.runEpochs(1)
 	f.runEpochs(1) // no starvation this epoch
-	f.at.PromotionGate()
+	f.at.PromotionGate(0)
 	f.runEpochs(1)
 	if f.at.Failed() {
 		t.Fatal("non-consecutive starvation crashed AutoTiering")

@@ -61,7 +61,7 @@ func Table3(o Options) Result {
 	mBoth, rBoth := run(o, core.TPP(core.WithTMO()), "Web1", [2]uint64{2, 1})
 
 	secs := float64(o.Minutes) * 60
-	failRate := func(m interface{ Stat() *vmstat.Stat }) float64 {
+	failRate := func(m interface{ Stat() *vmstat.NodeStats }) float64 {
 		return float64(m.Stat().Get(vmstat.PgmigrateFail)) / secs
 	}
 	t := &report.Table{
@@ -112,7 +112,7 @@ func X2(o Options) Result {
 		}
 		store := mem.NewStore(60000)
 		vecs := []*lru.Vec{lru.NewVec(store), lru.NewVec(store)}
-		stat := vmstat.New()
+		stat := vmstat.NewNodeStats(topo.NumNodes())
 		eng := migrate.NewEngine(migrate.Config{RefsFailProb: -1}, store, topo, vecs, stat, xrand.New(1))
 		as := pagetable.New(1)
 		var sd *swap.Device // no swap: matches the evaluation machines

@@ -92,6 +92,7 @@ func Registry() []Spec {
 		{"X2", "Reclaim speed: migration vs default reclaim (§5.1)", X2},
 		{"X3", "Steady-state migration bandwidth (§7)", X3},
 		{"MT1", "Throughput vs memory-tier depth (multi-hop expander)", MT1},
+		{"MT2", "Per-node flows across share mixes and distance matrices", MT2},
 	}
 }
 

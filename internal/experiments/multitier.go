@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tppsim/internal/core"
+	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/report"
 	"tppsim/internal/sim"
@@ -74,4 +75,104 @@ func cellTput(r *metrics.Run) string {
 		return "Fails"
 	}
 	return report.F1(100 * r.NormalizedThroughput)
+}
+
+// MT2 sweeps TPP over topology *shapes*: share mixes and distance
+// matrices beyond the presets — the symmetric dual-socket machine, an
+// asymmetric dual-socket (one socket with most of the DRAM), and a
+// 4-deep daisy chain — and reports the per-node flows from the
+// node-indexed stats plane: where pages sat at the end, where
+// allocations landed, and how many pages each node demoted away,
+// received by promotion, or hint-faulted. Each scenario's counter
+// columns sum exactly to the run's global vmstat values.
+func MT2(o Options) Result {
+	o = o.withDefaults()
+	scenarios := []struct {
+		label string
+		spec  tier.Spec
+	}{
+		{"dualsocket 2:2:1:1", tier.PresetDualSocket()},
+		{"dualsocket asym 3:1:1:1", asymDualSocket()},
+		{"chain4 4:2:1:1", chain4()},
+	}
+	t := &report.Table{
+		Title: "MT2 — TPP per-node flows across share mixes and distance matrices",
+		Columns: []string{"scenario", "node", "kind", "tier", "resident",
+			"pgalloc", "pgdemote", "pgpromote", "hint faults"},
+	}
+	series := map[string]string{}
+	for _, sc := range scenarios {
+		_, res := runTopo(o, core.TPP(), "Cache2", sc.spec)
+		label := sc.label
+		if res.Failed {
+			t.AddRow(label, "-", "-", "-", "FAILS: "+res.FailReason)
+			continue
+		}
+		var resid metrics.Series
+		resid.Name = "resident"
+		for _, n := range res.Nodes {
+			t.AddRow(label,
+				fmt.Sprintf("%d", n.ID), n.Kind, fmt.Sprintf("%d", n.Tier),
+				fmt.Sprintf("%d/%d", n.ResidentPages, n.CapacityPages),
+				fmt.Sprintf("%d", n.Get(vmstat.PgallocLocal)+n.Get(vmstat.PgallocCXL)),
+				fmt.Sprintf("%d", n.Get(vmstat.PgdemoteKswapd)+n.Get(vmstat.PgdemoteDirect)),
+				fmt.Sprintf("%d", n.Get(vmstat.PgpromoteSuccess)),
+				fmt.Sprintf("%d", n.Get(vmstat.NumaHintFaults)))
+			label = "" // scenario name only on its first row
+			resid.Append(float64(n.ID), float64(n.ResidentPages))
+		}
+		series["residency_"+slug(sc.label)] = report.SeriesCSV("node", &resid)
+	}
+	t.AddNote("per-node counters sum exactly to the run's global vmstat (the stats-plane invariant)")
+	t.AddNote("asym dual-socket: socket 0 holds 3/6 of capacity; chain4 cascades local -> cxl -> cxl -> cxl one hop at a time")
+	return Result{ID: "MT2", Caption: "Per-node flows across topology shapes", Table: t, Series: series}
+}
+
+// asymDualSocket is the dual-socket machine with an asymmetric share
+// mix: socket 0 carries most of the DRAM, socket 1 is memory-poor, and
+// each socket keeps its own expander.
+func asymDualSocket() tier.Spec {
+	s := tier.PresetDualSocket()
+	s.Name = "dualsocket-asym"
+	s.Nodes[0].Share = 3
+	s.Nodes[1].Share = 1
+	return s
+}
+
+// chain4 is a 4-deep daisy chain: local DRAM, then three CXL devices
+// each one switch hop behind the previous — the deepest cascade the
+// multi-hop demotion/promotion machinery has to climb.
+func chain4() tier.Spec {
+	return tier.Spec{
+		Name: "chain4",
+		Nodes: []tier.NodeSpec{
+			{Kind: mem.KindLocal, Share: 4},
+			{Kind: mem.KindCXL, Share: 2},
+			{Kind: mem.KindCXL, Share: 1, LoadLatencyNs: tier.FarCXLLatencyNs},
+			{Kind: mem.KindCXL, Share: 1, LoadLatencyNs: 500,
+				BandwidthMBps: tier.CrossSocketBandwidthMBps},
+		},
+		Distance: [][]int{
+			{10, 20, 30, 40},
+			{20, 10, 20, 30},
+			{30, 20, 10, 20},
+			{40, 30, 20, 10},
+		},
+	}
+}
+
+// slug turns a scenario label into a series-map key.
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == ':':
+			if len(out) > 0 && out[len(out)-1] != '_' {
+				out = append(out, '_')
+			}
+		}
+	}
+	return string(out)
 }

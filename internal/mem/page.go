@@ -110,6 +110,12 @@ type Page struct {
 	Flags Flags
 	// Node is the memory node the page currently resides on.
 	Node NodeID
+	// Home is the CPU node whose cores access this page (the socket its
+	// owning region is placed on). Accesses pay the distance-derived
+	// latency from Home to Node, so a cross-socket DRAM hit on a
+	// dual-socket machine costs more than a near hit. Migration changes
+	// Node, never Home. Always 0 on single-socket machines.
+	Home NodeID
 	// Prev/Next are the intrusive LRU links, maintained by package lru.
 	Prev, Next PFN
 	// AccessEpoch counts accesses within the current AutoTiering epoch;

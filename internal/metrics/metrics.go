@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"tppsim/internal/vmstat"
 )
 
 // ThroughputModel holds a workload's calibration constants.
@@ -187,7 +189,34 @@ type Run struct {
 	AvgLatencyNs         float64
 	Failed               bool // AutoTiering crash (Table 1 "Fails")
 	FailReason           string
+
+	// Nodes is the per-node end-of-run accounting from the machine's
+	// node-indexed vmstat plane, in node-ID order. Summing a counter
+	// over Nodes reproduces the run's global value exactly. Populated
+	// for failed runs too.
+	Nodes []NodeResult
 }
+
+// NodeResult is one memory node's end-of-run accounting: identity,
+// residency, and its slice of the vmstat plane.
+type NodeResult struct {
+	ID   int
+	Kind string // "local" or "cxl"
+	Tier int    // distance-derived tier rank; 0 is the CPU tier
+
+	CapacityPages uint64
+	ResidentPages uint64
+	ResidentAnon  uint64
+	ResidentFile  uint64 // file + tmpfs
+	LoadLatencyNs float64
+
+	// Counters is the node's vmstat snapshot (see the vmstat package
+	// doc for which node each event is charged to).
+	Counters vmstat.Snapshot
+}
+
+// Get returns one of the node's counters by enum.
+func (n NodeResult) Get(c vmstat.Counter) uint64 { return n.Counters.Get(c) }
 
 // String renders the headline scalars.
 func (r *Run) String() string {

@@ -72,7 +72,7 @@ type Engine struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	rng   *xrand.RNG
 
 	movedPages  uint64 // total pages successfully moved
@@ -86,7 +86,7 @@ type Engine struct {
 }
 
 // NewEngine returns a migration engine. vecs must be indexed by NodeID.
-func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.Stat, rng *xrand.RNG) *Engine {
+func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.NodeStats, rng *xrand.RNG) *Engine {
 	if cfg.PerPageNs == 0 {
 		cfg.PerPageNs = 3_000
 	}
@@ -135,16 +135,16 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 
 	// Step 1: isolate from the source LRU.
 	if !e.vecs[src].Isolate(pfn) {
-		e.fail(reason)
+		e.fail(src, reason)
 		return 0, ErrBusy
 	}
 
 	// Step 2: transient reference failures.
 	if e.rng.Bool(e.cfg.RefsFailProb) {
 		e.vecs[src].Putback(pfn)
-		e.fail(reason)
+		e.fail(src, reason)
 		if reason == Promotion {
-			e.stat.Inc(vmstat.PromoteFailRefs)
+			e.stat.Inc(src, vmstat.PromoteFailRefs)
 		}
 		return 0, ErrRefs
 	}
@@ -157,9 +157,9 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 	}
 	if full || !dn.Acquire(pg.Type) {
 		e.vecs[src].Putback(pfn)
-		e.fail(reason)
+		e.fail(src, reason)
 		if reason == Promotion {
-			e.stat.Inc(vmstat.PromoteFailLowMem)
+			e.stat.Inc(src, vmstat.PromoteFailLowMem)
 		}
 		return 0, ErrTargetFull
 	}
@@ -175,41 +175,41 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 		pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 		e.vecs[dest].Add(pfn, false)
 		if pg.Type.IsFileLike() {
-			e.stat.Inc(vmstat.PgdemoteFile)
+			e.stat.Inc(src, vmstat.PgdemoteFile)
 		} else {
-			e.stat.Inc(vmstat.PgdemoteAnon)
+			e.stat.Inc(src, vmstat.PgdemoteAnon)
 		}
 		e.demotedInto[dest]++
 		if e.topo.TierOf(dest) >= 2 {
-			e.stat.Inc(vmstat.PgdemoteFar)
+			e.stat.Inc(dest, vmstat.PgdemoteFar)
 		}
 	case Promotion:
 		if pg.Flags.Has(mem.PGDemoted) {
 			// Ping-pong: a demoted page came straight back (§5.5).
-			e.stat.Inc(vmstat.PgpromoteDemoted)
+			e.stat.Inc(dest, vmstat.PgpromoteDemoted)
 		}
 		pg.Flags = pg.Flags.Clear(mem.PGDemoted)
 		e.vecs[dest].Add(pfn, true)
 		if pg.Type.IsFileLike() {
-			e.stat.Inc(vmstat.PgpromoteFile)
+			e.stat.Inc(dest, vmstat.PgpromoteFile)
 		} else {
-			e.stat.Inc(vmstat.PgpromoteAnon)
+			e.stat.Inc(dest, vmstat.PgpromoteAnon)
 		}
-		e.stat.Inc(vmstat.PgpromoteSuccess)
+		e.stat.Inc(dest, vmstat.PgpromoteSuccess)
 		e.promotedFrom[src]++
 		if e.topo.TierOf(src) >= 2 {
-			e.stat.Inc(vmstat.PgpromoteFar)
+			e.stat.Inc(src, vmstat.PgpromoteFar)
 		}
 	}
-	e.stat.Inc(vmstat.PgmigrateSuccess)
+	e.stat.Inc(dest, vmstat.PgmigrateSuccess)
 	e.movedPages++
 	e.windowPages++
 	return e.cfg.PerPageNs, nil
 }
 
-func (e *Engine) fail(reason Reason) {
-	e.stat.Inc(vmstat.PgmigrateFail)
+func (e *Engine) fail(src mem.NodeID, reason Reason) {
+	e.stat.Inc(src, vmstat.PgmigrateFail)
 	if reason == Demotion {
-		e.stat.Inc(vmstat.PgdemoteFail)
+		e.stat.Inc(src, vmstat.PgdemoteFail)
 	}
 }

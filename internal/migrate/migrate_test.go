@@ -15,7 +15,7 @@ type fixture struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	eng   *Engine
 }
 
@@ -27,7 +27,7 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64) *fixture 
 	}
 	store := mem.NewStore(int(localPages + cxlPages))
 	vecs := []*lru.Vec{lru.NewVec(store), lru.NewVec(store)}
-	stat := vmstat.New()
+	stat := vmstat.NewNodeStats(topo.NumNodes())
 	eng := NewEngine(cfg, store, topo, vecs, stat, xrand.New(1))
 	return &fixture{store: store, topo: topo, vecs: vecs, stat: stat, eng: eng}
 }

@@ -54,14 +54,15 @@ type Config struct {
 	// HintFaultNs is the minor-fault cost charged to the faulting access.
 	// Default 1500 ns.
 	HintFaultNs float64
-	// PromotionGate, when non-nil, is consulted before each promotion
-	// attempt; returning false blocks it (counted as an isolate failure).
-	// The AutoTiering baseline uses this for its fixed-size promotion
-	// buffer (§6.3).
-	PromotionGate func() bool
-	// OnPromoted, when non-nil, is invoked after each successful
-	// promotion (AutoTiering consumes a buffer slot).
-	OnPromoted func()
+	// PromotionGate, when non-nil, is consulted with the selected
+	// promotion target before each attempt; returning false blocks it
+	// (counted as an isolate failure). The AutoTiering baseline uses
+	// this for its per-CPU-node fixed-size promotion buffers (§6.3).
+	PromotionGate func(target mem.NodeID) bool
+	// OnPromoted, when non-nil, is invoked with the target node after
+	// each successful promotion (AutoTiering consumes a buffer slot on
+	// that node).
+	OnPromoted func(target mem.NodeID)
 }
 
 func (c Config) withDefaults() Config {
@@ -83,7 +84,7 @@ type Balancer struct {
 	store  *mem.Store
 	topo   *tier.Topology
 	vecs   []*lru.Vec
-	stat   *vmstat.Stat
+	stat   *vmstat.NodeStats
 	engine *migrate.Engine
 	as     *pagetable.AddressSpace
 
@@ -104,7 +105,7 @@ type Balancer struct {
 
 // New wires a balancer over the machine.
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
-	stat *vmstat.Stat, engine *migrate.Engine, as *pagetable.AddressSpace) *Balancer {
+	stat *vmstat.NodeStats, engine *migrate.Engine, as *pagetable.AddressSpace) *Balancer {
 	cxl := make([]bool, topo.NumNodes())
 	top := make([]bool, topo.NumNodes())
 	for i := range cxl {
@@ -171,7 +172,7 @@ func (b *Balancer) scan() float64 {
 			continue
 		}
 		pg.Flags = pg.Flags.Set(mem.PGHinted)
-		b.stat.Inc(vmstat.NumaPagesScanned)
+		b.stat.Inc(pg.Node, vmstat.NumaPagesScanned)
 		marked++
 		spent += perPageNs
 	}
@@ -204,14 +205,14 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 	}
 	pg.Flags = pg.Flags.Clear(mem.PGHinted)
 	out := AccessOutcome{HintFault: true, LatencyNs: b.cfg.HintFaultNs}
-	b.stat.Inc(vmstat.NumaHintFaults)
+	b.stat.Inc(pg.Node, vmstat.NumaHintFaults)
 
 	if b.nodeTop[pg.Node] {
 		// CPU-tier fault: nothing to promote.
-		b.stat.Inc(vmstat.NumaHintFaultsLocal)
+		b.stat.Inc(pg.Node, vmstat.NumaHintFaultsLocal)
 		return out
 	}
-	b.stat.Inc(vmstat.PgpromoteSampled)
+	b.stat.Inc(pg.Node, vmstat.PgpromoteSampled)
 
 	// TPP's apt identification of trapped hot pages (§5.3).
 	if b.cfg.ActiveLRUFilter && !pg.Flags.Has(mem.PGActive) {
@@ -220,20 +221,21 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 		b.vecs[pg.Node].ForceActivate(pfn)
 		return out
 	}
-	b.stat.Inc(vmstat.PgpromoteCandidate)
-
-	if b.cfg.PromotionGate != nil && !b.cfg.PromotionGate() {
-		b.stat.Inc(vmstat.PromoteFailIsolate)
-		return out
-	}
+	b.stat.Inc(pg.Node, vmstat.PgpromoteCandidate)
 
 	// One hop toward the CPU: the least-pressured node of the next tier
 	// up. On the paper's 2-node box this is exactly §5.3's "local node
 	// with the lowest memory pressure"; on multi-hop machines a far-tier
-	// page climbs tier by tier.
+	// page climbs tier by tier. The target is resolved before the gate
+	// so a per-node gate (AutoTiering's per-socket buffers) knows which
+	// buffer the promotion would consume.
 	target := b.topo.PromotionTargetFrom(pg.Node)
 	if target == mem.NilNode {
-		b.stat.Inc(vmstat.PromoteFailGlobal)
+		b.stat.Inc(pg.Node, vmstat.PromoteFailGlobal)
+		return out
+	}
+	if b.cfg.PromotionGate != nil && !b.cfg.PromotionGate(target) {
+		b.stat.Inc(pg.Node, vmstat.PromoteFailIsolate)
 		return out
 	}
 	tn := b.topo.Node(target)
@@ -242,12 +244,12 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 		// target local node" — only the emergency reserve is off-limits
 		// (enforced by the engine's watermark guard).
 		if tn.Free() <= tn.WM.Min {
-			b.stat.Inc(vmstat.PromoteFailLowMem)
+			b.stat.Inc(pg.Node, vmstat.PromoteFailLowMem)
 			return out
 		}
 	} else if !tn.AllocOK() {
 		// Classic NUMA balancing refuses when the node is low.
-		b.stat.Inc(vmstat.PromoteFailLowMem)
+		b.stat.Inc(pg.Node, vmstat.PromoteFailLowMem)
 		return out
 	}
 
@@ -259,7 +261,7 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 	out.Promoted = true
 	out.LatencyNs += cost
 	if b.cfg.OnPromoted != nil {
-		b.cfg.OnPromoted()
+		b.cfg.OnPromoted(target)
 	}
 	return out
 }

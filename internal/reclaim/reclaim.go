@@ -88,7 +88,7 @@ type Daemon struct {
 	store  *mem.Store
 	topo   *tier.Topology
 	vecs   []*lru.Vec
-	stat   *vmstat.Stat
+	stat   *vmstat.NodeStats
 	engine *migrate.Engine
 	swapd  *swap.Device // nil = no swap configured
 	as     *pagetable.AddressSpace
@@ -106,7 +106,7 @@ type Daemon struct {
 // machines never swap). as is the address space used to unmap evicted
 // pages.
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
-	stat *vmstat.Stat, engine *migrate.Engine, swapd *swap.Device, as *pagetable.AddressSpace) *Daemon {
+	stat *vmstat.NodeStats, engine *migrate.Engine, swapd *swap.Device, as *pagetable.AddressSpace) *Daemon {
 	return &Daemon{
 		cfg:    cfg.withDefaults(),
 		store:  store,
@@ -211,7 +211,7 @@ func (d *Daemon) SwapOutColdest(id mem.NodeID, want int) (int, float64) {
 			if pg.Flags.Has(mem.PGUnevictable) || pg.Flags.Has(mem.PGReferenced) {
 				continue // leave hot/pinned pages alone, keep scanning
 			}
-			cost, ok := d.swapd.PageOut()
+			cost, ok := d.swapd.PageOut(id)
 			if !ok {
 				return swapped, spent // pool full
 			}
@@ -304,10 +304,10 @@ func (d *Daemon) ageNode(n *mem.Node, vec *lru.Vec) float64 {
 				// Heavily used page: rotate within active, keep it hot.
 				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 				vec.RotateToFront(tail)
-				d.stat.Inc(vmstat.PgRotated)
+				d.stat.Inc(n.ID, vmstat.PgRotated)
 			} else {
 				vec.Deactivate(tail)
-				d.stat.Inc(vmstat.PgdeactivateCt)
+				d.stat.Inc(n.ID, vmstat.PgdeactivateCt)
 			}
 			spent += deactivateNs
 		}
@@ -344,7 +344,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				return spent
 			}
 			visited++
-			d.stat.Inc(scanCounter)
+			d.stat.Inc(n.ID, scanCounter)
 			spent += scanNs
 			pg := d.store.Page(pfn)
 			if pg.Flags.Has(mem.PGUnevictable) {
@@ -355,7 +355,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				// Second chance: recently touched, rotate away.
 				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 				vec.RotateToFront(pfn)
-				d.stat.Inc(vmstat.PgRotated)
+				d.stat.Inc(n.ID, vmstat.PgRotated)
 				continue
 			}
 			// Victim. Walk the demotion cascade (§5.1, generalized:
@@ -369,7 +369,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				cost, err := d.engine.Migrate(pfn, dst, migrate.Demotion)
 				if err == nil {
 					spent += cost
-					d.stat.Inc(demoteCounter)
+					d.stat.Inc(n.ID, demoteCounter)
 					demoted = true
 				}
 				if err != migrate.ErrTargetFull {
@@ -380,12 +380,12 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				continue
 			}
 			if len(demoteTo) > 0 {
-				d.stat.Inc(vmstat.PgdemoteFallbck)
+				d.stat.Inc(n.ID, vmstat.PgdemoteFallbck)
 			}
 			cost, ok := d.defaultReclaim(n, vec, pfn)
 			spent += cost
 			if ok {
-				d.stat.Inc(stealCounter)
+				d.stat.Inc(n.ID, stealCounter)
 			}
 		}
 	}
@@ -411,7 +411,7 @@ func (d *Daemon) defaultReclaim(n *mem.Node, vec *lru.Vec, pfn mem.PFN) (float64
 			vec.RotateToFront(pfn)
 			return 0, false
 		}
-		cost, ok := d.swapd.PageOut()
+		cost, ok := d.swapd.PageOut(n.ID)
 		if !ok {
 			vec.RotateToFront(pfn)
 			return 0, false

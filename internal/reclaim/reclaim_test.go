@@ -17,7 +17,7 @@ type fixture struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	eng   *migrate.Engine
 	as    *pagetable.AddressSpace
 	d     *Daemon
@@ -34,7 +34,7 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64, swapd *sw
 	for i := range vecs {
 		vecs[i] = lru.NewVec(store)
 	}
-	stat := vmstat.New()
+	stat := vmstat.NewNodeStats(topo.NumNodes())
 	eng := migrate.NewEngine(migrate.Config{RefsFailProb: -1}, store, topo, vecs, stat, xrand.New(1))
 	as := pagetable.New(1)
 	d := New(cfg, store, topo, vecs, stat, eng, swapd, as)
@@ -138,7 +138,7 @@ func TestAnonUnreclaimableWithoutSwapOrDemotion(t *testing.T) {
 }
 
 func TestAnonSwappedWithSwapDevice(t *testing.T) {
-	sd := swap.New(swap.Config{Kind: swap.KindZswap}, vmstat.New())
+	sd := swap.New(swap.Config{Kind: swap.KindZswap}, vmstat.NewNodeStats(2))
 	f := newFixture(t, Config{}, 1000, 1000, sd)
 	local := f.topo.Node(0)
 	n := fillBelow(local, local.WM.Low)
@@ -294,7 +294,7 @@ func TestWakeExplicit(t *testing.T) {
 }
 
 func TestLRUInvariantsAfterReclaim(t *testing.T) {
-	sd := swap.New(swap.Config{Kind: swap.KindZswap}, vmstat.New())
+	sd := swap.New(swap.Config{Kind: swap.KindZswap}, vmstat.NewNodeStats(2))
 	f := newFixture(t, Config{DemotionEnabled: true, Decoupled: true}, 500, 200, sd)
 	local := f.topo.Node(0)
 	f.populate(t, 0, mem.Anon, int(local.Capacity)-5, false)

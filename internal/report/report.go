@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"tppsim/internal/metrics"
+	"tppsim/internal/vmstat"
 )
 
 // Table is a simple row-oriented result table.
@@ -71,6 +72,38 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// NodeTable renders a run's per-node accounting — residency and the
+// headline per-node vmstat counters from the node-indexed stats plane —
+// as one row per memory node. Summing any counter column reproduces the
+// run's global value exactly.
+func NodeTable(r *metrics.Run) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Per-node stats — %s/%s", r.Workload, r.Policy),
+		Columns: []string{"node", "kind", "tier", "resident", "util",
+			"pgalloc", "pgpromote", "pgdemote", "hint faults", "allocstall"},
+	}
+	for _, n := range r.Nodes {
+		util := 0.0
+		if n.CapacityPages > 0 {
+			util = float64(n.ResidentPages) / float64(n.CapacityPages)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n.ID),
+			n.Kind,
+			fmt.Sprintf("%d", n.Tier),
+			fmt.Sprintf("%d/%d", n.ResidentPages, n.CapacityPages),
+			Pct(util),
+			fmt.Sprintf("%d", n.Get(vmstat.PgallocLocal)+n.Get(vmstat.PgallocCXL)),
+			fmt.Sprintf("%d", n.Get(vmstat.PgpromoteSuccess)),
+			fmt.Sprintf("%d", n.Get(vmstat.PgdemoteKswapd)+n.Get(vmstat.PgdemoteDirect)),
+			fmt.Sprintf("%d", n.Get(vmstat.NumaHintFaults)),
+			fmt.Sprintf("%d", n.Get(vmstat.PgallocStall)),
+		)
+	}
+	t.AddNote("pgpromote counts promotions INTO the node, pgdemote demotions OFF it; see internal/vmstat for the full attribution")
+	return t
 }
 
 // Pct formats a fraction as a percentage with one decimal.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tppsim/internal/core"
+	"tppsim/internal/mem"
 	"tppsim/internal/tier"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
@@ -24,6 +25,7 @@ var goldenRuns = []struct {
 	local      string
 	latency    string
 	vmstat     string
+	nodeVmstat []string // per-node snapshots, node-ID order
 }{
 	{
 		wl: "Web1", minutes: 12,
@@ -52,6 +54,30 @@ pgrotated 52816
 pgscan_kswapd 14761
 pgsteal_kswapd 9
 `,
+		nodeVmstat: []string{`pgalloc_local 29824
+pgdeactivate 13231
+pgdemote_anon 871
+pgdemote_fail 13
+pgdemote_fallback 13
+pgdemote_file 4749
+pgdemote_kswapd 5620
+pgfree 13452
+pgmigrate_fail 13
+pgmigrate_success 559
+pgpromote_demoted 351
+pgpromote_file 559
+pgpromote_success 559
+pgrotated 52816
+pgscan_kswapd 14761
+pgsteal_kswapd 9
+`, `numa_hint_faults 2332
+numa_pages_scanned 7712
+pgalloc_cxl 1289
+pgfree 972
+pgmigrate_success 5620
+pgpromote_candidate 559
+pgpromote_sampled 2332
+`},
 	},
 	{
 		wl: "Cache2", minutes: 10,
@@ -81,6 +107,31 @@ pgscan_kswapd 9657
 promote_fail_low_memory 1783
 promote_fail_page_refs 9
 `,
+		nodeVmstat: []string{`pgalloc_local 10941
+pgdeactivate 71360
+pgdemote_anon 1181
+pgdemote_fail 10
+pgdemote_fallback 10
+pgdemote_file 3493
+pgdemote_kswapd 4674
+pgmigrate_fail 10
+pgmigrate_success 4164
+pgpromote_anon 2075
+pgpromote_demoted 1027
+pgpromote_file 2089
+pgpromote_success 4164
+pgrotated 207523
+pgscan_kswapd 9657
+`, `numa_hint_faults 7299
+numa_pages_scanned 9948
+pgalloc_cxl 4132
+pgmigrate_fail 9
+pgmigrate_success 4674
+pgpromote_candidate 5956
+pgpromote_sampled 7299
+promote_fail_low_memory 1783
+promote_fail_page_refs 9
+`},
 	},
 }
 
@@ -120,6 +171,54 @@ promote_fail_low_memory 1550
 promote_fail_page_refs 8
 `
 	)
+	nodeVmstatWant := []string{`pgalloc_local 8959
+pgdeactivate 49264
+pgdemote_anon 1060
+pgdemote_fail 376
+pgdemote_fallback 8
+pgdemote_file 2387
+pgdemote_kswapd 3447
+pgmigrate_fail 376
+pgmigrate_success 2298
+pgpromote_anon 407
+pgpromote_demoted 579
+pgpromote_file 1891
+pgpromote_success 2298
+pgrotated 144913
+pgscan_kswapd 10097
+`, `numa_hint_faults 4972
+numa_pages_scanned 6430
+pgalloc_cxl 5807
+pgdeactivate 17418
+pgdemote_anon 2219
+pgdemote_fail 14
+pgdemote_fallback 14
+pgdemote_file 3045
+pgdemote_kswapd 5264
+pgmigrate_fail 20
+pgmigrate_success 5738
+pgpromote_anon 1679
+pgpromote_candidate 3624
+pgpromote_demoted 2401
+pgpromote_file 979
+pgpromote_sampled 4972
+pgpromote_success 2658
+pgrotated 57696
+pgscan_kswapd 10987
+promote_fail_low_memory 1320
+promote_fail_page_refs 6
+`, `numa_hint_faults 3804
+numa_pages_scanned 4751
+pgalloc_cxl 307
+pgdemote_far 5631
+pgmigrate_fail 2
+pgmigrate_success 5631
+pgpromote_candidate 2890
+pgpromote_far 2658
+pgpromote_sampled 3804
+promote_fail_low_memory 230
+promote_fail_page_refs 2
+`}
 	wl := workload.Catalog["Cache2"](16 * 1024)
 	m, err := New(Config{
 		Seed: 7, Policy: core.TPP(), Workload: wl,
@@ -145,6 +244,12 @@ promote_fail_page_refs 8
 	if got := m.Stat().Snapshot().String(); got != vmstatWant {
 		t.Errorf("vmstat mismatch:\n got:\n%s want:\n%s", got, vmstatWant)
 	}
+	for n, want := range nodeVmstatWant {
+		if got := m.Stat().NodeSnapshot(mem.NodeID(n)).String(); got != want {
+			t.Errorf("node %d vmstat mismatch:\n got:\n%s want:\n%s", n, got, want)
+		}
+	}
+	assertNodeSumsMatchGlobal(t, m)
 }
 
 // TestMultiTierCascadeTraffic asserts the expander's far tier is a live
@@ -222,6 +327,38 @@ func TestSeedDeterminismGolden(t *testing.T) {
 			if got := m.Stat().Snapshot().String(); got != g.vmstat {
 				t.Errorf("vmstat mismatch:\n got:\n%s want:\n%s", got, g.vmstat)
 			}
+			for n, want := range g.nodeVmstat {
+				if got := m.Stat().NodeSnapshot(mem.NodeID(n)).String(); got != want {
+					t.Errorf("node %d vmstat mismatch:\n got:\n%s want:\n%s", n, got, want)
+				}
+			}
+			assertNodeSumsMatchGlobal(t, m)
 		})
+	}
+}
+
+// assertNodeSumsMatchGlobal checks the stats-plane contract: for every
+// counter, the per-node values sum exactly to the global view. With the
+// current NodeStats the global IS computed as that sum, so this guards
+// the contract against future implementations (e.g. a separately
+// maintained global accumulator) drifting — wrong-node *attribution*
+// preserves the sum and is caught instead by the pinned per-node golden
+// snapshots above and assertNodeAttribution in nodestats_test.go.
+func assertNodeSumsMatchGlobal(t *testing.T, m *Machine) {
+	t.Helper()
+	st := m.Stat()
+	var sum vmstat.Snapshot
+	for n := 0; n < st.NumNodes(); n++ {
+		ns := st.NodeSnapshot(mem.NodeID(n))
+		for c, v := range ns {
+			sum[c] += v
+		}
+	}
+	global := st.Snapshot()
+	for c := range global {
+		if sum[c] != global[c] {
+			t.Errorf("counter %s: sum(per-node) = %d, global = %d",
+				vmstat.Counter(c), sum[c], global[c])
+		}
 	}
 }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"tppsim/internal/core"
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/workload"
+	"tppsim/internal/xrand"
+)
+
+// TestNodeSumsMatchGlobalRandomized asserts the stats-plane invariant —
+// sum(per-node) == global for every counter — over randomized
+// topologies (node counts, kinds, shares, latencies, distance
+// matrices), policies, and workloads. Every event must be charged to
+// exactly one node, or the derived global view drifts from what the
+// old single-registry implementation counted.
+func TestNodeSumsMatchGlobalRandomized(t *testing.T) {
+	policies := []func() core.Policy{
+		func() core.Policy { return core.TPP() },
+		core.DefaultLinux,
+		core.NUMABalancing,
+		func() core.Policy { return core.TPP(core.WithTMO()) },
+	}
+	workloads := []string{"Web1", "Cache1", "Cache2"}
+	rng := xrand.New(42)
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng)
+		policy := policies[int(rng.Uint64n(uint64(len(policies))))]()
+		wl := workloads[int(rng.Uint64n(uint64(len(workloads))))]
+		name := fmt.Sprintf("%d_%s_%s_%dnodes", i, wl, policy.Name, len(spec.Nodes))
+		t.Run(name, func(t *testing.T) {
+			m, err := New(Config{
+				Seed:     rng.Uint64(),
+				Policy:   policy,
+				Workload: workload.Catalog[wl](4 * 1024),
+				Topology: spec,
+				Minutes:  3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			assertNodeSumsMatchGlobal(t, m)
+			assertNodeAttribution(t, res)
+			// The per-node results carried on the run must be the same
+			// snapshots the plane reports.
+			if len(res.Nodes) != m.Stat().NumNodes() {
+				t.Fatalf("run has %d node results for %d nodes", len(res.Nodes), m.Stat().NumNodes())
+			}
+			for _, n := range res.Nodes {
+				if n.Counters != m.Stat().NodeSnapshot(mem.NodeID(n.ID)) {
+					t.Errorf("node %d: run counters diverge from the stats plane", n.ID)
+				}
+			}
+		})
+	}
+}
+
+// randomSpec builds a random valid topology: node 0 CPU-attached, 1-4
+// nodes total, random kinds/shares/latencies, and either the synthesized
+// flat distance matrix or a random chain-flavored one.
+func randomSpec(rng *xrand.RNG) tier.Spec {
+	n := 1 + int(rng.Uint64n(4))
+	s := tier.Spec{Name: "random"}
+	for i := 0; i < n; i++ {
+		ns := tier.NodeSpec{Kind: mem.KindLocal, Share: 1 + rng.Uint64n(4)}
+		if i > 0 && rng.Bool(0.7) {
+			ns.Kind = mem.KindCXL
+			if rng.Bool(0.5) {
+				ns.LoadLatencyNs = 170 + float64(rng.Uint64n(200))
+			}
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	if rng.Bool(0.5) {
+		// Chain-flavored matrix: distance grows with ID separation.
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+			for j := range d[i] {
+				if i == j {
+					d[i][j] = 10
+				} else {
+					diff := i - j
+					if diff < 0 {
+						diff = -diff
+					}
+					d[i][j] = 10 + 10*diff
+				}
+			}
+		}
+		s.Distance = d
+	}
+	return s
+}
+
+// assertNodeAttribution checks invariants a wrong-node charge would
+// break (the tautology-free side of the stats-plane tests): kind- and
+// tier-restricted counters may only appear on nodes they can occur on.
+func assertNodeAttribution(t *testing.T, res *metrics.Run) {
+	t.Helper()
+	for _, n := range res.Nodes {
+		if n.Kind == "cxl" && n.Get(vmstat.PgallocLocal) != 0 {
+			t.Errorf("node %d (cxl): pgalloc_local = %d", n.ID, n.Get(vmstat.PgallocLocal))
+		}
+		if n.Kind == "local" && n.Get(vmstat.PgallocCXL) != 0 {
+			t.Errorf("node %d (local): pgalloc_cxl = %d", n.ID, n.Get(vmstat.PgallocCXL))
+		}
+		if n.Tier != 0 && n.Get(vmstat.NumaHintFaultsLocal) != 0 {
+			t.Errorf("node %d (tier %d): numa_hint_faults_local = %d", n.ID, n.Tier, n.Get(vmstat.NumaHintFaultsLocal))
+		}
+		if n.Tier < 2 {
+			// Far-tier traffic lands on (demote) or leaves (promote) a
+			// tier>=2 node only.
+			if v := n.Get(vmstat.PgdemoteFar); v != 0 {
+				t.Errorf("node %d (tier %d): pgdemote_far = %d", n.ID, n.Tier, v)
+			}
+			if v := n.Get(vmstat.PgpromoteFar); v != 0 {
+				t.Errorf("node %d (tier %d): pgpromote_far = %d", n.ID, n.Tier, v)
+			}
+		}
+		if n.Tier == 0 && (n.Get(vmstat.PgpromoteSampled) != 0 || n.Get(vmstat.PgpromoteCandidate) != 0) {
+			t.Errorf("node %d (tier 0): promotion sampling counters on the CPU tier", n.ID)
+		}
+	}
+}
+
+// TestAutoTieringRunsOnPresets pins the rewrite of the AutoTiering
+// baseline against tier.Spec: per-CPU-node ranking and buffer placement
+// from the distance matrix must complete runs on every topology preset,
+// including the dual-socket machine (two sockets, two buffers) and the
+// multi-hop expander — machines the node-0-only implementation could
+// not model.
+func TestAutoTieringRunsOnPresets(t *testing.T) {
+	for _, name := range tier.PresetNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := tier.Preset(name)
+			if !ok {
+				t.Fatalf("no preset %q", name)
+			}
+			m, err := New(Config{
+				Seed:     5,
+				Policy:   core.AutoTiering(),
+				Workload: workload.Catalog["Cache2"](8 * 1024),
+				Topology: spec,
+				Minutes:  8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			if res.Failed {
+				t.Fatalf("AutoTiering failed on %s: %s", name, res.FailReason)
+			}
+			if got := m.Stat().Get(vmstat.PgpromoteSuccess); got == 0 {
+				t.Errorf("AutoTiering promoted nothing on %s", name)
+			}
+			assertNodeSumsMatchGlobal(t, m)
+		})
+	}
+}
+
+// TestDualSocketCrossSocketLatency pins the per-socket CPU placement
+// satellite: on the dual-socket preset, regions are spread over both
+// sockets, and a page resident on the remote socket's DRAM costs the
+// distance-matrix cross-socket latency (~180 ns), not the resident
+// node's local 100 ns.
+func TestDualSocketCrossSocketLatency(t *testing.T) {
+	spec := tier.PresetDualSocket()
+	m, err := New(Config{
+		Seed:     9,
+		Policy:   core.DefaultLinux(),
+		Workload: workload.Catalog["Cache2"](8 * 1024),
+		Topology: spec,
+		Minutes:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := m.Topology()
+	// The latency model itself: same-socket DRAM 100 ns, cross-socket
+	// DRAM 180 ns, near expander keeps its trait latency, remote
+	// expander pays the same cross-socket penalty on top.
+	if got := topo.AccessLatency(0, 0); got != tier.LocalDRAMLatencyNs {
+		t.Errorf("AccessLatency(0,0) = %v", got)
+	}
+	if got := topo.AccessLatency(0, 1); got != tier.RemoteSocketLatency {
+		t.Errorf("AccessLatency(0,1) = %v, want %v", got, tier.RemoteSocketLatency)
+	}
+	if got := topo.AccessLatency(0, 2); got != tier.CXLLatencyDefaultNs {
+		t.Errorf("AccessLatency(0,2) = %v", got)
+	}
+	want := tier.CXLLatencyDefaultNs + 22*tier.RemoteAccessPenaltyNsPerDist
+	if got := topo.AccessLatency(0, 3); got != want {
+		t.Errorf("AccessLatency(0,3) = %v, want %v", got, want)
+	}
+	// And the machine actually uses both sockets as homes: run a bit
+	// and check pages exist with Home 0 and Home 1.
+	res := m.Run()
+	if res.Failed {
+		t.Fatal(res.FailReason)
+	}
+	homes := map[mem.NodeID]int{}
+	for pfn := 0; pfn < m.store.Len(); pfn++ {
+		pg := m.store.Page(mem.PFN(pfn))
+		if pg.Node != mem.NilNode {
+			homes[pg.Home]++
+		}
+	}
+	if homes[0] == 0 || homes[1] == 0 {
+		t.Errorf("regions not spread over sockets: homes = %v", homes)
+	}
+	if homes[2] != 0 || homes[3] != 0 {
+		t.Errorf("CXL node used as a home socket: homes = %v", homes)
+	}
+}

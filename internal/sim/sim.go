@@ -130,7 +130,7 @@ type Machine struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	as    *pagetable.AddressSpace
 
 	engine    *migrate.Engine
@@ -165,12 +165,21 @@ type Machine struct {
 	failed  bool
 	failWhy string
 
-	// Per-node lookup tables cached from the topology so the access hot
-	// path is two slice indexes instead of pointer-chasing through
-	// Topology (node latency is fixed for the life of a machine; sweeps
-	// configure it via Config.CXLLatencyNs before assembly).
-	nodeLat   []float64
+	// Per-(home CPU, resident node) load-latency matrix cached from the
+	// topology (flattened row-major) so the access hot path is one
+	// multiply and two slice indexes instead of pointer-chasing through
+	// Topology. Latencies are fixed for the life of a machine; sweeps
+	// configure them via Config.CXLLatencyNs/NodeLatencyNs before
+	// assembly. On single-socket machines row 0 is the only row read.
+	latMat    []float64
+	nNodes    int
 	nodeLocal []bool
+	// cpuNodes lists the CPU-attached nodes; regions are placed on them
+	// round-robin (their home socket), which decides both the preferred
+	// allocation node and the access-latency row for their pages.
+	cpuNodes   []mem.NodeID
+	regionHome map[pagetable.VPN]mem.NodeID
+	mmapCount  int
 	// numabOn caches whether NUMA balancing is enabled so the access path
 	// only calls into the balancer on actual hint faults (PGHinted set).
 	numabOn bool
@@ -221,7 +230,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg:   cfg,
 		topo:  topo,
 		store: mem.NewStore(int(topo.TotalCapacity())),
-		stat:  vmstat.New(),
+		stat:  vmstat.NewNodeStats(topo.NumNodes()),
 		as:    pagetable.New(1),
 		wl:    cfg.Workload,
 		rng:   xrand.New(cfg.Seed ^ 0x7070), // kernel-side randomness
@@ -280,11 +289,21 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	m.baseLat = topo.Traits(0).LoadLatency
-	m.nodeLat = make([]float64, topo.NumNodes())
-	m.nodeLocal = make([]bool, topo.NumNodes())
-	for i := 0; i < topo.NumNodes(); i++ {
-		m.nodeLat[i] = topo.Traits(mem.NodeID(i)).LoadLatency
+	m.nNodes = topo.NumNodes()
+	m.latMat = make([]float64, m.nNodes*m.nNodes)
+	m.nodeLocal = make([]bool, m.nNodes)
+	for i := 0; i < m.nNodes; i++ {
 		m.nodeLocal[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindLocal
+		for j := 0; j < m.nNodes; j++ {
+			m.latMat[i*m.nNodes+j] = topo.AccessLatency(mem.NodeID(i), mem.NodeID(j))
+		}
+	}
+	m.cpuNodes = topo.LocalNodes()
+	if len(m.cpuNodes) == 0 {
+		m.cpuNodes = []mem.NodeID{0}
+	}
+	if len(m.cpuNodes) > 1 {
+		m.regionHome = make(map[pagetable.VPN]mem.NodeID)
 	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
@@ -298,9 +317,17 @@ func New(cfg Config) (*Machine, error) {
 
 // --- workload.Ctx implementation -----------------------------------------
 
-// Mmap implements workload.Ctx.
+// Mmap implements workload.Ctx. On multi-socket machines the new
+// region is placed on a home CPU node round-robin, modeling the
+// scheduler spreading application threads over the sockets; its pages
+// prefer allocation there and pay access latency from there.
 func (m *Machine) Mmap(pages uint64, t mem.PageType) pagetable.Region {
-	return m.as.Mmap(pages, t)
+	r := m.as.Mmap(pages, t)
+	if m.regionHome != nil {
+		m.regionHome[r.Start] = m.cpuNodes[m.mmapCount%len(m.cpuNodes)]
+	}
+	m.mmapCount++
+	return r
 }
 
 // Munmap implements workload.Ctx: frees every populated page.
@@ -308,6 +335,21 @@ func (m *Machine) Munmap(r pagetable.Region) {
 	for _, pfn := range m.as.Munmap(r) {
 		m.allocator.FreePage(pfn)
 	}
+	if m.regionHome != nil {
+		delete(m.regionHome, r.Start)
+	}
+}
+
+// homeOf returns the CPU node a region's threads run on: node 0 on
+// single-socket machines, the region's round-robin socket otherwise.
+func (m *Machine) homeOf(r pagetable.Region) mem.NodeID {
+	if m.regionHome == nil {
+		return m.cpuNodes[0]
+	}
+	if h, ok := m.regionHome[r.Start]; ok {
+		return h
+	}
+	return m.cpuNodes[0]
 }
 
 // Touch implements workload.Ctx: one access, demand-faulting if needed.
@@ -346,12 +388,14 @@ func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
 		panic(fmt.Sprintf("sim: access outside any region: %d", v))
 	}
 	evict := m.as.Evicted(v)
-	res, err := m.allocator.AllocPage(r.Type, 0)
+	home := m.homeOf(r)
+	res, err := m.allocator.AllocPage(r.Type, home)
 	if err != nil {
 		m.fail("out of memory: " + err.Error())
 		return mem.NilPFN, 0
 	}
 	pfn := res.PFN
+	m.store.Page(pfn).Home = home
 	m.as.MapPage(v, pfn)
 	event += minorFaultNs + res.StallNs
 	m.cur.StallNs += res.StallNs
@@ -362,7 +406,7 @@ func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
 	switch evict {
 	case pagetable.EvictSwap:
 		// Major fault: the page comes back from the swap pool.
-		cost := m.swapd.PageIn()
+		cost := m.swapd.PageIn(res.Node)
 		event += cost
 		m.cur.StallNs += cost
 	case pagetable.EvictFile:
@@ -403,8 +447,8 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 	// rare, so the compiler can keep these in registers. Integer access
 	// counters accumulate locally (exact under reassociation, unlike the
 	// float latency sum, which keeps its per-access order).
-	store, nodeLat, nodeLocal := m.store, m.nodeLat, m.nodeLocal
-	numabOn, tick := m.numabOn, m.tick
+	store, latMat, nodeLocal := m.store, m.latMat, m.nodeLocal
+	nn, numabOn, tick := m.nNodes, m.numabOn, m.tick
 	var accesses, local uint64
 	// Batched translations are valid only while no page is unmapped. A
 	// fault below can trigger direct reclaim, which evicts (unmaps)
@@ -433,7 +477,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 		}
 		// Fused finishAccess(v, pfn, 0) — keep the two in sync.
 		pg := store.Page(pfn)
-		load := nodeLat[pg.Node]
+		load := latMat[int(pg.Home)*nn+int(pg.Node)]
 		servedLocal := nodeLocal[pg.Node]
 		var event float64
 		if numabOn && pg.Flags.Has(mem.PGHinted) {
@@ -469,7 +513,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 // carries any fault cost already incurred for this access.
 func (m *Machine) finishAccess(v pagetable.VPN, pfn mem.PFN, event float64) {
 	pg := m.store.Page(pfn)
-	load := m.nodeLat[pg.Node]
+	load := m.latMat[int(pg.Home)*m.nNodes+int(pg.Node)]
 	servedLocal := m.nodeLocal[pg.Node]
 
 	// NUMA-balancing hint fault and possible promotion: per-page event
@@ -668,6 +712,22 @@ func (m *Machine) finish() {
 	}
 	m.run.Failed = m.failed
 	m.run.FailReason = m.failWhy
+	// Per-node end-of-run accounting from the stats plane — populated
+	// for failed runs too, so a crash still shows where pages sat.
+	m.run.Nodes = m.run.Nodes[:0]
+	for _, n := range m.topo.Nodes() {
+		m.run.Nodes = append(m.run.Nodes, metrics.NodeResult{
+			ID:            int(n.ID),
+			Kind:          n.Kind.String(),
+			Tier:          m.topo.TierOf(n.ID),
+			CapacityPages: n.Capacity,
+			ResidentPages: n.Resident(),
+			ResidentAnon:  n.ResidentByType(mem.Anon),
+			ResidentFile:  n.ResidentByType(mem.File) + n.ResidentByType(mem.Tmpfs),
+			LoadLatencyNs: m.topo.Traits(n.ID).LoadLatency,
+			Counters:      m.stat.NodeSnapshot(n.ID),
+		})
+	}
 	if m.failed {
 		return
 	}
@@ -680,8 +740,16 @@ func (m *Machine) finish() {
 
 // --- accessors for experiments and tests ----------------------------------
 
-// Stat returns the vmstat registry.
-func (m *Machine) Stat() *vmstat.Stat { return m.stat }
+// Stat returns the machine's node-indexed vmstat plane. Global views
+// (Get, Snapshot) are the exact sum of the per-node ones.
+func (m *Machine) Stat() *vmstat.NodeStats { return m.stat }
+
+// NodeVmstat appends every node's vmstat snapshot to dst in node order
+// and returns the extended slice; it implements trace.NodeStatsSource
+// so recordings carry per-node counter deltas per tick.
+func (m *Machine) NodeVmstat(dst []vmstat.Snapshot) []vmstat.Snapshot {
+	return m.stat.AppendNodeSnapshots(dst)
+}
 
 // Topology returns the machine topology.
 func (m *Machine) Topology() *tier.Topology { return m.topo }

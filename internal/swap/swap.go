@@ -15,6 +15,7 @@ package swap
 import (
 	"fmt"
 
+	"tppsim/internal/mem"
 	"tppsim/internal/vmstat"
 )
 
@@ -49,11 +50,11 @@ type Config struct {
 type Device struct {
 	cfg  Config
 	used uint64
-	stat *vmstat.Stat
+	stat *vmstat.NodeStats
 }
 
 // New returns a device with defaults filled in.
-func New(cfg Config, stat *vmstat.Stat) *Device {
+func New(cfg Config, stat *vmstat.NodeStats) *Device {
 	if cfg.PageOutNs == 0 {
 		if cfg.Kind == KindZswap {
 			cfg.PageOutNs = 30_000
@@ -97,27 +98,28 @@ func (d *Device) SavedPages() float64 {
 	return float64(d.used) - float64(d.used)/d.cfg.CompressionRatio
 }
 
-// PageOut evicts one page. It returns the time charged and false when the
-// pool is full (reclaim must then skip the page).
-func (d *Device) PageOut() (costNs float64, ok bool) {
+// PageOut evicts one page from the given node. It returns the time
+// charged and false when the pool is full (reclaim must then skip the
+// page).
+func (d *Device) PageOut(node mem.NodeID) (costNs float64, ok bool) {
 	if d.cfg.CapacityPages != 0 && d.used >= d.cfg.CapacityPages {
 		return 0, false
 	}
 	d.used++
-	d.stat.Inc(vmstat.PswpOut)
+	d.stat.Inc(node, vmstat.PswpOut)
 	return d.cfg.PageOutNs, true
 }
 
-// PageIn services a major fault for a swapped page, returning the fault
-// latency. It panics if the pool is empty — a page-in without a matching
-// page-out is an accounting bug.
-func (d *Device) PageIn() (costNs float64) {
+// PageIn services a major fault for a swapped page faulting back onto
+// the given node, returning the fault latency. It panics if the pool is
+// empty — a page-in without a matching page-out is an accounting bug.
+func (d *Device) PageIn(node mem.NodeID) (costNs float64) {
 	if d.used == 0 {
 		panic("swap: PageIn from empty pool")
 	}
 	d.used--
-	d.stat.Inc(vmstat.PswpIn)
-	d.stat.Inc(vmstat.PgmajFault)
+	d.stat.Inc(node, vmstat.PswpIn)
+	d.stat.Inc(node, vmstat.PgmajFault)
 	return d.cfg.PageInNs
 }
 

@@ -8,20 +8,20 @@ import (
 )
 
 func TestDefaults(t *testing.T) {
-	z := New(Config{Kind: KindZswap}, vmstat.New())
+	z := New(Config{Kind: KindZswap}, vmstat.NewNodeStats(1))
 	if z.cfg.PageOutNs != 30_000 || z.cfg.PageInNs != 3_000 || z.cfg.CompressionRatio != 3.0 {
 		t.Fatalf("zswap defaults wrong: %+v", z.cfg)
 	}
-	d := New(Config{Kind: KindDisk}, vmstat.New())
+	d := New(Config{Kind: KindDisk}, vmstat.NewNodeStats(1))
 	if d.cfg.PageOutNs != 120_000 || d.cfg.PageInNs != 25_000 || d.cfg.CompressionRatio != 1.0 {
 		t.Fatalf("disk defaults wrong: %+v", d.cfg)
 	}
 }
 
 func TestPageOutIn(t *testing.T) {
-	st := vmstat.New()
+	st := vmstat.NewNodeStats(1)
 	d := New(Config{Kind: KindZswap}, st)
-	cost, ok := d.PageOut()
+	cost, ok := d.PageOut(0)
 	if !ok || cost != 30_000 {
 		t.Fatalf("PageOut = %v,%v", cost, ok)
 	}
@@ -31,7 +31,7 @@ func TestPageOutIn(t *testing.T) {
 	if st.Get(vmstat.PswpOut) != 1 {
 		t.Fatal("pswpout not counted")
 	}
-	inCost := d.PageIn()
+	inCost := d.PageIn(0)
 	if inCost != 3_000 || d.Used() != 0 {
 		t.Fatalf("PageIn = %v, used=%d", inCost, d.Used())
 	}
@@ -41,31 +41,31 @@ func TestPageOutIn(t *testing.T) {
 }
 
 func TestCapacityLimit(t *testing.T) {
-	d := New(Config{Kind: KindDisk, CapacityPages: 2}, vmstat.New())
+	d := New(Config{Kind: KindDisk, CapacityPages: 2}, vmstat.NewNodeStats(1))
 	for i := 0; i < 2; i++ {
-		if _, ok := d.PageOut(); !ok {
+		if _, ok := d.PageOut(0); !ok {
 			t.Fatalf("PageOut %d refused below capacity", i)
 		}
 	}
-	if _, ok := d.PageOut(); ok {
+	if _, ok := d.PageOut(0); ok {
 		t.Fatal("PageOut beyond capacity succeeded")
 	}
 }
 
 func TestPageInEmptyPanics(t *testing.T) {
-	d := New(Config{Kind: KindZswap}, vmstat.New())
+	d := New(Config{Kind: KindZswap}, vmstat.NewNodeStats(1))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("PageIn from empty pool did not panic")
 		}
 	}()
-	d.PageIn()
+	d.PageIn(0)
 }
 
 func TestCompressionAccounting(t *testing.T) {
-	d := New(Config{Kind: KindZswap, CompressionRatio: 4}, vmstat.New())
+	d := New(Config{Kind: KindZswap, CompressionRatio: 4}, vmstat.NewNodeStats(1))
 	for i := 0; i < 8; i++ {
-		d.PageOut()
+		d.PageOut(0)
 	}
 	if got := d.StoredBytes(); math.Abs(got-8*4096/4.0) > 1e-9 {
 		t.Fatalf("StoredBytes = %v", got)
@@ -77,15 +77,15 @@ func TestCompressionAccounting(t *testing.T) {
 }
 
 func TestString(t *testing.T) {
-	d := New(Config{Kind: KindDisk}, vmstat.New())
-	d.PageOut()
+	d := New(Config{Kind: KindDisk}, vmstat.NewNodeStats(1))
+	d.PageOut(0)
 	if got := d.String(); got != "swap(disk used=1)" {
 		t.Fatalf("String = %q", got)
 	}
 }
 
 func TestPageOutCostAccessor(t *testing.T) {
-	d := New(Config{Kind: KindZswap, PageOutNs: 11}, vmstat.New())
+	d := New(Config{Kind: KindZswap, PageOutNs: 11}, vmstat.NewNodeStats(1))
 	if d.PageOutCost() != 11 {
 		t.Fatal("PageOutCost wrong")
 	}

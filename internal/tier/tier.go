@@ -60,6 +60,8 @@ type Topology struct {
 	// Derived tier structure, computed once at assembly.
 	tiers         []int
 	numTiers      int
+	cpuDist       []int // distance[node][nearest CPU], the tiering metric
+	toNodeDist    []int // min over CPUs c of distance[c][node], the access metric
 	demoteTargets [][]mem.NodeID
 }
 
@@ -114,6 +116,27 @@ func (t *Topology) computeTiers() {
 		}
 		cpuDist[i] = best
 	}
+	t.cpuDist = cpuDist
+	// The access-direction twin of cpuDist: the smallest CPU->node
+	// distance, read in the same row orientation AccessLatency uses.
+	// On symmetric matrices the two are equal; on asymmetric ones the
+	// penalty for an access must be measured against the access
+	// direction or a lone CPU would pay a spurious penalty to its own
+	// nodes.
+	t.toNodeDist = make([]int, n)
+	for i := range t.nodes {
+		if len(locals) == 0 {
+			t.toNodeDist[i] = t.distance[i][i]
+			continue
+		}
+		best := int(^uint(0) >> 1)
+		for _, l := range locals {
+			if d := t.distance[l][i]; d < best {
+				best = d
+			}
+		}
+		t.toNodeDist[i] = best
+	}
 	// Dense ranks over the sorted distinct CPU distances.
 	distinct := append([]int(nil), cpuDist...)
 	sort.Ints(distinct)
@@ -163,6 +186,31 @@ func (t *Topology) SetLatency(id mem.NodeID, ns float64) { t.traits[id].LoadLate
 
 // Distance returns the NUMA distance between two nodes.
 func (t *Topology) Distance(a, b mem.NodeID) int { return t.distance[a][b] }
+
+// RemoteAccessPenaltyNsPerDist converts extra NUMA distance — beyond a
+// node's distance to its nearest CPU socket — into added load latency
+// for accesses issued by a farther CPU. Calibrated on the dual-socket
+// preset: the cross-socket hop there is 22 distance units (32 vs the 10
+// self-distance), and a remote-socket DRAM access should cost the
+// paper's ~180 ns against ~100 ns locally (Fig. 5).
+const RemoteAccessPenaltyNsPerDist = (RemoteSocketLatency - LocalDRAMLatencyNs) / 22.0
+
+// AccessLatency returns the load latency a CPU on node cpu observes
+// when accessing memory resident on node n. A node's trait latency is
+// what its *nearest* CPU socket pays; a CPU farther away (a
+// cross-socket DRAM or remote-expander hit on the dual-socket machine)
+// additionally pays RemoteAccessPenaltyNsPerDist per unit of extra
+// distance. Both distances are measured in the CPU->node direction, so
+// on machines with one CPU node every access comes from the nearest
+// socket and this is exactly Traits(n).LoadLatency — including on
+// asymmetric distance matrices.
+func (t *Topology) AccessLatency(cpu, n mem.NodeID) float64 {
+	extra := t.distance[cpu][n] - t.toNodeDist[n]
+	if extra <= 0 {
+		return t.traits[n].LoadLatency
+	}
+	return t.traits[n].LoadLatency + float64(extra)*RemoteAccessPenaltyNsPerDist
+}
 
 // LocalNodes returns the IDs of CPU-attached nodes in ID order.
 func (t *Topology) LocalNodes() []mem.NodeID {

@@ -298,3 +298,29 @@ func TestSpecRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessLatencyAsymmetricMatrix pins the access-direction fix: on a
+// single-CPU machine every access comes from the node's nearest (only)
+// CPU, so AccessLatency must equal the trait latency even when the
+// distance matrix is asymmetric — the penalty is measured against the
+// CPU->node direction, not the node->CPU one tiering uses.
+func TestAccessLatencyAsymmetricMatrix(t *testing.T) {
+	nodes := []*mem.Node{
+		mem.NewNode(0, mem.KindLocal, 100, 0.02),
+		mem.NewNode(1, mem.KindCXL, 100, 0.02),
+	}
+	traits := []Traits{
+		{LoadLatency: LocalDRAMLatencyNs, BandwidthMBps: DDRChannelBandwidthMBps, HasCPU: true},
+		{LoadLatency: CXLLatencyDefaultNs, BandwidthMBps: CXLx16BandwidthMBps, HasCPU: false},
+	}
+	topo, err := New(nodes, traits, [][]int{{10, 25}, {20, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.AccessLatency(0, 0); got != LocalDRAMLatencyNs {
+		t.Errorf("AccessLatency(0,0) = %v, want %v", got, LocalDRAMLatencyNs)
+	}
+	if got := topo.AccessLatency(0, 1); got != CXLLatencyDefaultNs {
+		t.Errorf("AccessLatency(0,1) = %v, want %v (lone CPU must pay no penalty)", got, CXLLatencyDefaultNs)
+	}
+}

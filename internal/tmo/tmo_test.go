@@ -18,7 +18,7 @@ type fixture struct {
 	store *mem.Store
 	topo  *tier.Topology
 	vecs  []*lru.Vec
-	stat  *vmstat.Stat
+	stat  *vmstat.NodeStats
 	as    *pagetable.AddressSpace
 	sd    *swap.Device
 	d     *reclaim.Daemon
@@ -36,7 +36,7 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64) *fixture 
 	for i := range vecs {
 		vecs[i] = lru.NewVec(store)
 	}
-	stat := vmstat.New()
+	stat := vmstat.NewNodeStats(topo.NumNodes())
 	eng := migrate.NewEngine(migrate.Config{RefsFailProb: -1}, store, topo, vecs, stat, xrand.New(1))
 	as := pagetable.New(1)
 	sd := swap.New(swap.Config{Kind: swap.KindZswap}, stat)

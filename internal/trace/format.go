@@ -39,15 +39,23 @@
 //	  OpMunmap   (0x02)  start varint, pages varint, type byte
 //	  OpTouch    (0x03)  zigzag varint delta of VPN vs. previous Touch/Access
 //	  OpAccess   (0x04)  same encoding; an access drawn via NextAccess
-//	  OpTickEnd  (0x05)  closes one simulated tick
+//	  OpTickEnd  (0x05)  closes one simulated tick. v3+: a varint node
+//	                     count (0 = no per-node data), then per node a
+//	                     varint pair count followed by (counter byte,
+//	                     delta varint) pairs — the non-zero per-node
+//	                     vmstat counter deltas the recorded machine
+//	                     accumulated during the tick
 //	  OpStartEnd (0x06)  closes the Start (setup) section
 //	  OpEnd      (0x07)  closes the stream (v2+; written by Close)
 //
 // The stream grammar is: start-section events, OpStartEnd, then per tick
 // any housekeeping events (mmap/munmap/touch), the tick's accesses, and
-// OpTickEnd; version-2 streams end with OpEnd, so a v2 trace truncated
+// OpTickEnd; version-2+ streams end with OpEnd, so a trace truncated
 // even exactly on an event boundary is detected as malformed rather than
-// silently replaying short. Touch/Access VPNs are delta-encoded against the previous
+// silently replaying short. Version-2 traces carry bare tick markers and
+// still load; replays ignore the v3 deltas either way (they describe the
+// recorded machine, not the replaying one), so replay results are
+// unchanged across versions. Touch/Access VPNs are delta-encoded against the previous
 // Touch/Access VPN, which keeps hot-set streams to ~2 bytes per event.
 // Region start VPNs are strictly increasing over the life of the stream
 // (the recorder's address space never reuses addresses), which the
@@ -69,6 +77,7 @@ import (
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
 	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 )
 
@@ -76,8 +85,9 @@ import (
 const Magic = "TPPTRACE"
 
 // Version is the current trace-format version. Version 2 added the
-// optional topology block; version-1 traces still load.
-const Version = 2
+// optional topology block; version 3 added per-node vmstat counter
+// deltas to TickEnd events. Version-1 and -2 traces still load.
+const Version = 3
 
 // Header carries the workload identity a trace was captured from: enough
 // for the Replayer to satisfy the workload.Workload interface and for a
@@ -142,9 +152,18 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// NodeCounterDelta is one per-node counter increment carried by a v3
+// TickEnd event: node Node's Counter grew by Delta during the tick.
+type NodeCounterDelta struct {
+	Node    int
+	Counter vmstat.Counter
+	Delta   uint64
+}
+
 // Event is one decoded trace record. Fields are populated per opcode:
 // Mmap uses Start/Pages/Type/Dirty, Munmap uses Start/Pages/Type,
-// Touch/Access use VPN, and the tick markers carry no operands.
+// Touch/Access use VPN, and TickEnd carries the recorded machine's
+// per-node vmstat deltas on v3+ streams.
 type Event struct {
 	Op    Op
 	Start pagetable.VPN // Mmap/Munmap: region start in the recorded space
@@ -152,6 +171,15 @@ type Event struct {
 	Type  mem.PageType  // Mmap/Munmap: page type
 	Dirty float64       // Mmap: dirty-at-fault probability for the region
 	VPN   pagetable.VPN // Touch/Access: the touched virtual page
+
+	// DeltaNodes is the machine node count a v3 TickEnd recorded (0
+	// when the writer attached no per-node data); Deltas lists the
+	// tick's non-zero per-node counter increments, grouped by node in
+	// ascending order. For events returned by Reader.Next, Deltas
+	// aliases a reader-owned scratch buffer valid until the next Next
+	// call — copy it to retain.
+	DeltaNodes int
+	Deltas     []NodeCounterDelta
 }
 
 // Region returns the recorded region of an Mmap/Munmap event.
@@ -351,9 +379,12 @@ type Writer struct {
 	prev    pagetable.VPN
 	events  uint64
 	scratch []byte
-	version int
-	closed  bool
-	err     error
+	// deltaScratch backs TickEndDeltas' sparse event payload, reused
+	// across ticks.
+	deltaScratch []NodeCounterDelta
+	version      int
+	closed       bool
+	err          error
 }
 
 // NewWriter starts a trace on w with the given header. A header topology
@@ -451,7 +482,31 @@ func (w *Writer) WriteEvent(e Event) {
 	case OpTouch, OpAccess:
 		w.uvarint(zigzag(int64(e.VPN) - int64(w.prev)))
 		w.prev = e.VPN
-	case OpTickEnd, OpStartEnd, OpEnd:
+	case OpTickEnd:
+		if w.version >= 3 {
+			// Deltas must be grouped by ascending node with every Node in
+			// [0, DeltaNodes); nodes beyond the last delta encode as empty.
+			w.uvarint(uint64(e.DeltaNodes))
+			i := 0
+			for n := 0; n < e.DeltaNodes; n++ {
+				start := i
+				for i < len(e.Deltas) && e.Deltas[i].Node == n {
+					i++
+				}
+				w.uvarint(uint64(i - start))
+				for _, d := range e.Deltas[start:i] {
+					w.writeByte(byte(d.Counter))
+					w.uvarint(d.Delta)
+				}
+			}
+			if i != len(e.Deltas) && w.err == nil {
+				// Out-of-order or out-of-range entries would be silently
+				// lost, breaking the sum(deltas)==final invariant — fail
+				// loudly instead.
+				w.err = fmt.Errorf("trace: tickend deltas not grouped by ascending node in [0,%d)", e.DeltaNodes)
+			}
+		}
+	case OpStartEnd, OpEnd:
 		// no operands
 	default:
 		if w.err == nil {
@@ -477,8 +532,27 @@ func (w *Writer) Touch(v pagetable.VPN) { w.WriteEvent(Event{Op: OpTouch, VPN: v
 // Access records one access drawn from NextAccess.
 func (w *Writer) Access(v pagetable.VPN) { w.WriteEvent(Event{Op: OpAccess, VPN: v}) }
 
-// TickEnd closes the current tick.
+// TickEnd closes the current tick with no per-node data.
 func (w *Writer) TickEnd() { w.WriteEvent(Event{Op: OpTickEnd}) }
+
+// TickEndDeltas closes the current tick, attaching each node's vmstat
+// counter deltas for the tick (v3+ writers; earlier versions write a
+// bare marker). Only non-zero counters are encoded, so quiet ticks on
+// small machines cost a few bytes. The snapshots are flattened into the
+// sparse event form and encoded by WriteEvent — one encoder serves both
+// freshly captured and re-encoded streams.
+func (w *Writer) TickEndDeltas(deltas []vmstat.Snapshot) {
+	w.deltaScratch = w.deltaScratch[:0]
+	for n, d := range deltas {
+		for c, v := range d {
+			if v != 0 {
+				w.deltaScratch = append(w.deltaScratch,
+					NodeCounterDelta{Node: n, Counter: vmstat.Counter(c), Delta: v})
+			}
+		}
+	}
+	w.WriteEvent(Event{Op: OpTickEnd, DeltaNodes: len(deltas), Deltas: w.deltaScratch})
+}
 
 // StartEnd closes the Start (setup) section.
 func (w *Writer) StartEnd() { w.WriteEvent(Event{Op: OpStartEnd}) }
@@ -522,6 +596,9 @@ type Reader struct {
 	br   byteStream
 	h    Header
 	prev pagetable.VPN
+	// deltaScratch backs TickEnd events' Deltas slices, reused across
+	// Next calls.
+	deltaScratch []NodeCounterDelta
 }
 
 // NewReader parses the header and prepares to stream events. The reader
@@ -592,7 +669,44 @@ func (r *Reader) Next() (Event, error) {
 		}
 		e.VPN = pagetable.VPN(int64(r.prev) + unzigzag(u))
 		r.prev = e.VPN
-	case OpTickEnd, OpStartEnd:
+	case OpTickEnd:
+		if r.h.Version >= 3 {
+			nodes, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: tickend node count: %w", err)
+			}
+			if nodes > 127 {
+				return Event{}, fmt.Errorf("trace: tickend bad node count %d", nodes)
+			}
+			e.DeltaNodes = int(nodes)
+			r.deltaScratch = r.deltaScratch[:0]
+			for n := 0; n < int(nodes); n++ {
+				pairs, err := binary.ReadUvarint(r.br)
+				if err != nil {
+					return Event{}, fmt.Errorf("trace: tickend node %d pair count: %w", n, err)
+				}
+				if pairs > uint64(vmstat.NumCounters) {
+					return Event{}, fmt.Errorf("trace: tickend node %d has %d counter deltas", n, pairs)
+				}
+				for k := uint64(0); k < pairs; k++ {
+					cb, err := r.br.ReadByte()
+					if err != nil {
+						return Event{}, fmt.Errorf("trace: tickend delta counter: %w", err)
+					}
+					if int(cb) >= vmstat.NumCounters {
+						return Event{}, fmt.Errorf("trace: tickend unknown counter %d", cb)
+					}
+					v, err := binary.ReadUvarint(r.br)
+					if err != nil {
+						return Event{}, fmt.Errorf("trace: tickend delta value: %w", err)
+					}
+					r.deltaScratch = append(r.deltaScratch,
+						NodeCounterDelta{Node: n, Counter: vmstat.Counter(cb), Delta: v})
+				}
+			}
+			e.Deltas = r.deltaScratch
+		}
+	case OpStartEnd:
 		// no operands
 	default:
 		return Event{}, fmt.Errorf("trace: unknown opcode %d", op)

@@ -117,7 +117,7 @@ func TestWriterReaderIdentity(t *testing.T) {
 		t.Fatalf("event count %d, want %d", len(got), len(events))
 	}
 	for i := range events {
-		if got[i] != events[i] {
+		if !eventEq(got[i], events[i]) {
 			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
 		}
 	}
@@ -142,7 +142,7 @@ func TestDecodeMatchesReader(t *testing.T) {
 	a, b := tr.Events(), tr.Events()
 	ea, _ := a.Next()
 	eb, _ := b.Next()
-	if ea != eb {
+	if !eventEq(ea, eb) {
 		t.Fatalf("independent cursors diverged: %+v vs %+v", ea, eb)
 	}
 }
@@ -202,7 +202,7 @@ func TestCreateWritesGzip(t *testing.T) {
 		t.Fatalf("events %d, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !eventEq(got[i], want[i]) {
 			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
 		}
 	}
@@ -456,4 +456,20 @@ func TestGeneratorsWellFormed(t *testing.T) {
 			}
 		})
 	}
+}
+
+// eventEq compares two events field by field (Event holds a slice, so
+// == no longer applies).
+func eventEq(a, b Event) bool {
+	if a.Op != b.Op || a.Start != b.Start || a.Pages != b.Pages ||
+		a.Type != b.Type || a.Dirty != b.Dirty || a.VPN != b.VPN ||
+		a.DeltaNodes != b.DeltaNodes || len(a.Deltas) != len(b.Deltas) {
+		return false
+	}
+	for i := range a.Deltas {
+		if a.Deltas[i] != b.Deltas[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -4,8 +4,19 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 )
+
+// NodeStatsSource is implemented by machines that expose a node-indexed
+// vmstat plane (sim.Machine does); when the recording context provides
+// one, every recorded tick carries the per-node counter deltas the
+// machine accumulated during it (trace format v3).
+type NodeStatsSource interface {
+	// NodeVmstat appends one snapshot per node to dst and returns the
+	// extended slice.
+	NodeVmstat(dst []vmstat.Snapshot) []vmstat.Snapshot
+}
 
 // Recorder wraps a workload and transparently captures its full event
 // stream — mmaps, munmaps, touches, and the sampled access stream — as
@@ -20,6 +31,15 @@ type Recorder struct {
 	inner  workload.Workload
 	w      *Writer
 	ticked bool
+
+	// Per-node vmstat delta capture (v3 TickEnd payload). src is the
+	// machine's stats plane when it offers one; prev/cur/deltas are
+	// reused across ticks so recording stays allocation-free after the
+	// first tick.
+	src    NodeStatsSource
+	prev   []vmstat.Snapshot
+	cur    []vmstat.Snapshot
+	deltas []vmstat.Snapshot
 }
 
 var _ workload.Workload = (*Recorder)(nil)
@@ -44,8 +64,13 @@ func (r *Recorder) TotalPages() uint64 { return r.inner.TotalPages() }
 func (r *Recorder) WarmupTicks() uint64 { return r.inner.WarmupTicks() }
 
 // Start implements workload.Workload: the inner setup runs against a
-// recording context, then the start section is closed.
+// recording context, then the start section is closed. The first
+// recorded tick's deltas start from zero (setup faults count toward
+// it), so summing every tick's deltas reproduces the recording
+// machine's final per-node counters exactly.
 func (r *Recorder) Start(ctx workload.Ctx) {
+	r.src, _ = ctx.(NodeStatsSource)
+	r.prev = r.prev[:0]
 	r.inner.Start(recCtx{ctx, r})
 	r.w.StartEnd()
 }
@@ -54,10 +79,30 @@ func (r *Recorder) Start(ctx workload.Ctx) {
 // written lazily here, after that tick's accesses have been recorded.
 func (r *Recorder) Tick(ctx workload.Ctx, tick uint64) {
 	if r.ticked {
-		r.w.TickEnd()
+		r.writeTickEnd()
 	}
 	r.ticked = true
 	r.inner.Tick(recCtx{ctx, r}, tick)
+}
+
+// writeTickEnd closes the previous tick, attaching per-node vmstat
+// deltas when the machine exposes its stats plane.
+func (r *Recorder) writeTickEnd() {
+	if r.src == nil {
+		r.w.TickEnd()
+		return
+	}
+	r.cur = r.src.NodeVmstat(r.cur[:0])
+	r.deltas = r.deltas[:0]
+	for i, sn := range r.cur {
+		var prev vmstat.Snapshot
+		if i < len(r.prev) {
+			prev = r.prev[i]
+		}
+		r.deltas = append(r.deltas, sn.Delta(prev))
+	}
+	r.w.TickEndDeltas(r.deltas)
+	r.prev = append(r.prev[:0], r.cur...)
 }
 
 // NextAccess implements workload.Workload, recording each drawn access.
@@ -95,7 +140,7 @@ func (r *Recorder) WorkloadErr() error {
 // Close ends the trace (final tick marker) and closes the writer.
 func (r *Recorder) Close() error {
 	if r.ticked {
-		r.w.TickEnd()
+		r.writeTickEnd()
 	}
 	return r.w.Close()
 }

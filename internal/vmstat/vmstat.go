@@ -10,12 +10,39 @@
 // single-goroutine per machine, so no atomics are needed. Snapshots are
 // plain array values: copying, diffing, and comparing them never touches
 // the heap.
+//
+// The machine-wide registry is NodeStats, the node_vmstat analogue: one
+// flat Counter-indexed array per memory node, node-major in one backing
+// slice. Every event is charged to exactly one node, so the global view
+// (Get, Snapshot) is always the exact sum of the per-node views. The
+// per-counter node attribution, chosen to mirror the kernel's node_stat
+// semantics where one exists:
+//
+//   - demotion events (pgdemote_*, pgdemote_fail/fallback) and the
+//     reclaim scan counters (pgscan/pgsteal/pgrotated/pgdeactivate):
+//     the node being reclaimed (the migration source);
+//   - pgdemote_far: the far node the page lands on;
+//   - pgpromote_sampled/candidate and every promote_fail_* reason: the
+//     node holding the page that was (or failed to be) promoted;
+//   - pgpromote_success/anon/file/demoted: the node promoted to (as in
+//     the kernel, which counts PGPROMOTE_SUCCESS on the target node);
+//   - pgpromote_far: the far node the page left;
+//   - numa_hint_faults[_local], numa_pages_scanned: the faulting or
+//     scanned page's resident node;
+//   - pgalloc_*, pgfree: the node the page was allocated on or freed
+//     from; allocstall: the preferred node of the stalled allocation;
+//   - pswpout/pswpin/pgmajfault: the node the page left or faults back
+//     into;
+//   - pgmigrate_success: the destination node; pgmigrate_fail: the
+//     source node.
 package vmstat
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tppsim/internal/mem"
 )
 
 // Counter names every event the simulator tracks. The names follow the
@@ -163,31 +190,88 @@ func Counters() []Counter {
 	return out
 }
 
-// Stat is a mutable counter registry: a flat array indexed by Counter.
-type Stat struct {
-	counts [NumCounters]uint64
+// NodeStats is the machine-wide stats plane: one Counter-indexed flat
+// array per memory node, node-major in a single backing slice, so the
+// hot-path increment is one multiply and one indexed add. The global
+// counters are derived views — always the exact sum of the per-node
+// ones — and snapshots of either view are plain array values.
+type NodeStats struct {
+	counts []uint64 // node-major: counts[node*NumCounters+counter]
+	nodes  int
 }
 
-// New returns an empty registry.
-func New() *Stat {
-	return &Stat{}
+// NewNodeStats returns an empty stats plane for a machine of the given
+// node count (at least 1).
+func NewNodeStats(nodes int) *NodeStats {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &NodeStats{counts: make([]uint64, nodes*NumCounters), nodes: nodes}
 }
 
-// Inc adds 1 to the counter.
-func (s *Stat) Inc(c Counter) { s.counts[c]++ }
+// NumNodes returns the number of per-node counter sets.
+func (s *NodeStats) NumNodes() int { return s.nodes }
 
-// Add adds delta to the counter.
-func (s *Stat) Add(c Counter, delta uint64) { s.counts[c] += delta }
+// Inc adds 1 to the counter on the given node.
+func (s *NodeStats) Inc(node mem.NodeID, c Counter) {
+	s.counts[int(node)*NumCounters+int(c)]++
+}
 
-// Get returns the current value of the counter.
-func (s *Stat) Get(c Counter) uint64 { return s.counts[c] }
+// Add adds delta to the counter on the given node.
+func (s *NodeStats) Add(node mem.NodeID, c Counter, delta uint64) {
+	s.counts[int(node)*NumCounters+int(c)] += delta
+}
 
-// Snapshot returns an immutable copy of all counters. The copy is a plain
-// array value: no heap allocation.
-func (s *Stat) Snapshot() Snapshot { return s.counts }
+// GetNode returns the counter's value on one node.
+func (s *NodeStats) GetNode(node mem.NodeID, c Counter) uint64 {
+	return s.counts[int(node)*NumCounters+int(c)]
+}
 
-// Reset zeroes every counter.
-func (s *Stat) Reset() { s.counts = [NumCounters]uint64{} }
+// Get returns the counter's global value: the sum over all nodes.
+func (s *NodeStats) Get(c Counter) uint64 {
+	var sum uint64
+	for i := int(c); i < len(s.counts); i += NumCounters {
+		sum += s.counts[i]
+	}
+	return sum
+}
+
+// Snapshot returns the global view: per-counter sums over all nodes.
+// The result is a plain array value — no heap allocation.
+func (s *NodeStats) Snapshot() Snapshot {
+	var out Snapshot
+	for n := 0; n < s.nodes; n++ {
+		row := s.counts[n*NumCounters : (n+1)*NumCounters]
+		for c, v := range row {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// NodeSnapshot returns one node's counters as a plain array value.
+func (s *NodeStats) NodeSnapshot(node mem.NodeID) Snapshot {
+	var out Snapshot
+	copy(out[:], s.counts[int(node)*NumCounters:(int(node)+1)*NumCounters])
+	return out
+}
+
+// AppendNodeSnapshots appends every node's snapshot to dst in node
+// order and returns the extended slice (reuse dst across ticks to
+// avoid allocation).
+func (s *NodeStats) AppendNodeSnapshots(dst []Snapshot) []Snapshot {
+	for n := 0; n < s.nodes; n++ {
+		dst = append(dst, s.NodeSnapshot(mem.NodeID(n)))
+	}
+	return dst
+}
+
+// Reset zeroes every counter on every node.
+func (s *NodeStats) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+}
 
 // Snapshot is a point-in-time copy of the registry, indexed by Counter.
 type Snapshot [NumCounters]uint64

@@ -4,34 +4,36 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"tppsim/internal/mem"
 )
 
 func TestIncAndGet(t *testing.T) {
-	s := New()
+	s := NewNodeStats(1)
 	if s.Get(PgpromoteSuccess) != 0 {
 		t.Fatal("fresh counter not zero")
 	}
-	s.Inc(PgpromoteSuccess)
-	s.Inc(PgpromoteSuccess)
+	s.Inc(0, PgpromoteSuccess)
+	s.Inc(0, PgpromoteSuccess)
 	if got := s.Get(PgpromoteSuccess); got != 2 {
 		t.Fatalf("got %d, want 2", got)
 	}
 }
 
 func TestAdd(t *testing.T) {
-	s := New()
-	s.Add(PgdemoteKswapd, 100)
-	s.Add(PgdemoteKswapd, 23)
+	s := NewNodeStats(1)
+	s.Add(0, PgdemoteKswapd, 100)
+	s.Add(0, PgdemoteKswapd, 23)
 	if got := s.Get(PgdemoteKswapd); got != 123 {
 		t.Fatalf("got %d, want 123", got)
 	}
 }
 
 func TestSnapshotIsCopy(t *testing.T) {
-	s := New()
-	s.Add(PswpOut, 5)
+	s := NewNodeStats(1)
+	s.Add(0, PswpOut, 5)
 	snap := s.Snapshot()
-	s.Add(PswpOut, 5)
+	s.Add(0, PswpOut, 5)
 	if snap.Get(PswpOut) != 5 {
 		t.Fatal("snapshot mutated by later Add")
 	}
@@ -41,11 +43,11 @@ func TestSnapshotIsCopy(t *testing.T) {
 }
 
 func TestDelta(t *testing.T) {
-	s := New()
-	s.Add(NumaHintFaults, 10)
+	s := NewNodeStats(1)
+	s.Add(0, NumaHintFaults, 10)
 	before := s.Snapshot()
-	s.Add(NumaHintFaults, 7)
-	s.Add(PgmajFault, 3)
+	s.Add(0, NumaHintFaults, 7)
+	s.Add(0, PgmajFault, 3)
 	d := s.Snapshot().Delta(before)
 	if d.Get(NumaHintFaults) != 7 {
 		t.Fatalf("delta hint faults = %d, want 7", d.Get(NumaHintFaults))
@@ -56,8 +58,8 @@ func TestDelta(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	s := New()
-	s.Add(PgallocLocal, 9)
+	s := NewNodeStats(1)
+	s.Add(0, PgallocLocal, 9)
 	s.Reset()
 	if s.Get(PgallocLocal) != 0 {
 		t.Fatal("Reset did not zero counters")
@@ -65,9 +67,9 @@ func TestReset(t *testing.T) {
 }
 
 func TestStringFormat(t *testing.T) {
-	s := New()
-	s.Add(PgallocCXL, 2)
-	s.Add(PgallocLocal, 1)
+	s := NewNodeStats(1)
+	s.Add(0, PgallocCXL, 2)
+	s.Add(0, PgallocLocal, 1)
 	out := s.Snapshot().String()
 	if !strings.Contains(out, "pgalloc_cxl 2") || !strings.Contains(out, "pgalloc_local 1") {
 		t.Fatalf("bad render:\n%s", out)
@@ -79,29 +81,29 @@ func TestStringFormat(t *testing.T) {
 }
 
 func TestStringOmitsZeros(t *testing.T) {
-	s := New()
-	s.Add(PgallocLocal, 0)
+	s := NewNodeStats(1)
+	s.Add(0, PgallocLocal, 0)
 	if out := s.Snapshot().String(); out != "" {
 		t.Fatalf("zero counters rendered: %q", out)
 	}
 }
 
 func TestEqual(t *testing.T) {
-	a, b := New(), New()
-	a.Add(PswpIn, 4)
-	b.Add(PswpIn, 4)
+	a, b := NewNodeStats(1), NewNodeStats(1)
+	a.Add(0, PswpIn, 4)
+	b.Add(0, PswpIn, 4)
 	if !a.Snapshot().Equal(b.Snapshot()) {
 		t.Fatal("equal snapshots reported unequal")
 	}
-	b.Inc(PswpIn)
+	b.Inc(0, PswpIn)
 	if a.Snapshot().Equal(b.Snapshot()) {
 		t.Fatal("unequal snapshots reported equal")
 	}
 }
 
 func TestEqualIgnoresExplicitZeros(t *testing.T) {
-	a, b := New(), New()
-	a.Add(PswpIn, 0) // touched but zero
+	a, b := NewNodeStats(1), NewNodeStats(1)
+	a.Add(0, PswpIn, 0) // touched but zero
 	if !a.Snapshot().Equal(b.Snapshot()) {
 		t.Fatal("explicit zero broke equality")
 	}
@@ -131,10 +133,10 @@ func TestCounterNames(t *testing.T) {
 // BenchmarkVmstatInc measures the hot-path counter increment: with the
 // array-backed registry this must be a plain indexed add.
 func BenchmarkVmstatInc(b *testing.B) {
-	s := New()
+	s := NewNodeStats(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Inc(NumaHintFaults)
+		s.Inc(0, NumaHintFaults)
 	}
 	if s.Get(NumaHintFaults) == 0 {
 		b.Fatal("counter not incremented")
@@ -145,10 +147,10 @@ func BenchmarkVmstatInc(b *testing.B) {
 // snapshot itself, and delta of a snapshot with itself is all-zero.
 func TestDeltaProperties(t *testing.T) {
 	f := func(vals []uint8) bool {
-		s := New()
+		s := NewNodeStats(1)
 		names := []Counter{PgdemoteAnon, PgdemoteFile, PgpromoteAnon}
 		for i, v := range vals {
-			s.Add(names[i%len(names)], uint64(v))
+			s.Add(0, names[i%len(names)], uint64(v))
 		}
 		snap := s.Snapshot()
 		if !snap.Delta(Snapshot{}).Equal(snap) {
@@ -163,5 +165,44 @@ func TestDeltaProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	s := NewNodeStats(3)
+	if s.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", s.NumNodes())
+	}
+	s.Inc(0, PgallocLocal)
+	s.Inc(2, PgallocLocal)
+	s.Add(1, PgdemoteKswapd, 5)
+	s.Inc(2, PgdemoteKswapd)
+	if got := s.Get(PgallocLocal); got != 2 {
+		t.Errorf("global pgalloc_local = %d", got)
+	}
+	if got := s.GetNode(2, PgdemoteKswapd); got != 1 {
+		t.Errorf("node 2 pgdemote = %d", got)
+	}
+	// Global snapshot is the exact per-counter sum of the node views.
+	var sum Snapshot
+	for n := 0; n < s.NumNodes(); n++ {
+		ns := s.NodeSnapshot(mem.NodeID(n))
+		for c, v := range ns {
+			sum[c] += v
+		}
+	}
+	if g := s.Snapshot(); g != sum {
+		t.Errorf("global snapshot %v != node sum %v", g, sum)
+	}
+	if g := s.Snapshot(); g.Get(PgdemoteKswapd) != 6 {
+		t.Errorf("snapshot pgdemote = %d", g.Get(PgdemoteKswapd))
+	}
+	snaps := s.AppendNodeSnapshots(nil)
+	if len(snaps) != 3 || snaps[1].Get(PgdemoteKswapd) != 5 {
+		t.Errorf("AppendNodeSnapshots = %v", snaps)
+	}
+	s.Reset()
+	if g := s.Snapshot(); g != (Snapshot{}) {
+		t.Error("Reset left counters behind")
 	}
 }

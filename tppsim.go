@@ -73,9 +73,11 @@ import (
 	"tppsim/internal/experiments"
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
+	"tppsim/internal/report"
 	"tppsim/internal/sim"
 	"tppsim/internal/tier"
 	"tppsim/internal/trace"
+	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 )
 
@@ -126,8 +128,29 @@ type MachineConfig = sim.Config
 // Machine is an assembled tiered-memory machine.
 type Machine = sim.Machine
 
-// RunResult carries a run's series and scalar results.
+// RunResult carries a run's series and scalar results, including the
+// per-node accounting in RunResult.Nodes.
 type RunResult = metrics.Run
+
+// NodeResult is one memory node's end-of-run accounting (RunResult.Nodes):
+// identity, residency, and its slice of the vmstat plane.
+type NodeResult = metrics.NodeResult
+
+// NodeStats is a machine's node-indexed vmstat plane (Machine.Stat): one
+// counter set per memory node, with the global view derived as the exact
+// sum of the per-node ones.
+type NodeStats = vmstat.NodeStats
+
+// VmstatCounter names one observability counter (vmstat.Counter).
+type VmstatCounter = vmstat.Counter
+
+// VmstatSnapshot is a point-in-time copy of one counter set — global or
+// per-node — indexed by VmstatCounter.
+type VmstatSnapshot = vmstat.Snapshot
+
+// NodeTable renders a run's per-node residency and headline counters as
+// an aligned text table.
+var NodeTable = report.NodeTable
 
 // Policy is a placement-policy configuration.
 type Policy = core.Policy
