@@ -15,6 +15,16 @@ func SimTickBenchConfig() MachineConfig {
 	}
 }
 
+// SimTickBenchSampledConfig is SimTickBenchConfig with the per-tick
+// per-node series plane sampling every tick — the worst case for the
+// sampling hook. cmd/bench -check pins its ns/op within 10% of the
+// sampling-off run, the "observability is near-free" guarantee.
+func SimTickBenchSampledConfig() MachineConfig {
+	cfg := SimTickBenchConfig()
+	cfg.SampleEveryTicks = 1
+	return cfg
+}
+
 // SimTickBenchWarmTicks is how many ticks the benchmark machine steps
 // before measurement, moving it past the workload's fill phase.
 const SimTickBenchWarmTicks = 600

@@ -59,7 +59,18 @@ func BenchmarkX3MigrationBandwidth(b *testing.B)  { benchExperiment(b, "X3") }
 // shared with cmd/bench (SimTickBenchConfig), which records the result
 // in BENCH_simtick.json.
 func BenchmarkSimTick(b *testing.B) {
-	m, err := NewMachine(SimTickBenchConfig())
+	benchSimTick(b, SimTickBenchConfig())
+}
+
+// BenchmarkSimTickSampled is the same machine with the per-tick
+// per-node series plane sampling every tick; cmd/bench -check holds it
+// within 10% of BenchmarkSimTick.
+func BenchmarkSimTickSampled(b *testing.B) {
+	benchSimTick(b, SimTickBenchSampledConfig())
+}
+
+func benchSimTick(b *testing.B, cfg MachineConfig) {
+	m, err := NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,16 +1,23 @@
-// Command bench runs the simulator's core-loop benchmark (the same
-// machine and warm-up as BenchmarkSimTick in bench_test.go) and writes
-// the result to BENCH_simtick.json, the repo's performance-trajectory
-// artifact. Run it from the repo root after perf-relevant changes:
+// Command bench runs the simulator's core-loop benchmarks (the same
+// machines and warm-up as BenchmarkSimTick / BenchmarkSimTickSampled in
+// bench_test.go) and writes the results to BENCH_simtick.json, the
+// repo's performance-trajectory artifact. Run it from the repo root
+// after perf-relevant changes:
 //
 //	go run ./cmd/bench            # writes ./BENCH_simtick.json
 //	go run ./cmd/bench -o out.json
 //
-// With -check it instead compares the fresh measurement against the
-// committed baseline and exits non-zero when ns/op regressed more than
-// -tolerance (default 15%) — the CI regression guard. Checking does not
-// overwrite the baseline; refresh it with a plain run when a slowdown
-// is intentional and explained.
+// With -check it instead compares fresh measurements against the
+// committed baseline and exits non-zero when:
+//
+//   - sampling-off ns/op regressed more than -tolerance (default 15%)
+//     against the committed baseline, or its allocs/op grew;
+//   - sampling-on ns/op exceeds the sampling-off run by more than
+//     -sampled-tolerance (default 10%) — a relative gate measured in
+//     the same process, so it is hardware-independent.
+//
+// Checking does not overwrite the baseline; refresh it with a plain run
+// when a slowdown is intentional and explained.
 //
 //	go run ./cmd/bench -check
 //	go run ./cmd/bench -check -baseline BENCH_simtick.json -tolerance 0.15
@@ -32,11 +39,12 @@ func main() {
 	check := flag.Bool("check", false, "compare against the committed baseline instead of writing it")
 	baseline := flag.String("baseline", "BENCH_simtick.json", "baseline JSON path for -check")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op regression fraction for -check")
+	sampledTol := flag.Float64("sampled-tolerance", 0.10, "allowed sampling-on overhead fraction vs sampling-off for -check")
 	flag.Parse()
 
-	bench := func() testing.BenchmarkResult {
+	bench := func(cfg tppsim.MachineConfig) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
-			m, err := tppsim.NewMachine(tppsim.SimTickBenchConfig())
+			m, err := tppsim.NewMachine(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -51,8 +59,13 @@ func main() {
 			}
 		})
 	}
-	res := bench()
-	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	nsOf := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	res := bench(tppsim.SimTickBenchConfig())
+	nsPerOp := nsOf(res)
+	resSampled := bench(tppsim.SimTickBenchSampledConfig())
+	nsSampled := nsOf(resSampled)
 
 	if *check {
 		raw, err := os.ReadFile(*baseline)
@@ -72,15 +85,18 @@ func main() {
 			// ns/op is hardware- and noise-sensitive; before failing,
 			// re-measure once and take the better run so a noisy-neighbor
 			// blip on a shared runner does not block an unchanged build.
-			if again := bench(); again.T.Nanoseconds() > 0 {
-				if v := float64(again.T.Nanoseconds()) / float64(again.N); v < nsPerOp {
+			if again := bench(tppsim.SimTickBenchConfig()); again.T.Nanoseconds() > 0 {
+				if v := nsOf(again); v < nsPerOp {
 					nsPerOp = v
 				}
 			}
 		}
 		ratio := nsPerOp / base.NsPerOp
+		sampledRatio := nsSampled / nsPerOp
 		fmt.Printf("SimTick: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%); %d allocs/op vs %d\n",
 			nsPerOp, base.NsPerOp, 100*(ratio-1), 100**tolerance, res.AllocsPerOp(), base.AllocsPerOp)
+		fmt.Printf("SimTickSampled: %.0f ns/op (%+.1f%% vs sampling off, tolerance %.0f%%); %d allocs/op\n",
+			nsSampled, 100*(sampledRatio-1), 100**sampledTol, resSampled.AllocsPerOp())
 		failed := false
 		if ratio > 1+*tolerance {
 			// Persistently over tolerance: either a real regression or a
@@ -97,6 +113,25 @@ func main() {
 				base.AllocsPerOp, res.AllocsPerOp())
 			failed = true
 		}
+		if sampledRatio > 1+*sampledTol {
+			// Re-measure the pair once before failing, same noise logic.
+			off, on := bench(tppsim.SimTickBenchConfig()), bench(tppsim.SimTickBenchSampledConfig())
+			if r := nsOf(on) / nsOf(off); r < sampledRatio {
+				sampledRatio = r
+			}
+		}
+		if sampledRatio > 1+*sampledTol {
+			fmt.Fprintf(os.Stderr, "bench: series sampling costs %+.1f%% ns/op over sampling-off (limit %.0f%%)\n",
+				100*(sampledRatio-1), 100**sampledTol)
+			failed = true
+		}
+		// The sampling hook is amortized over preallocated columns: it
+		// must not add steady-state allocations either.
+		if resSampled.AllocsPerOp() > res.AllocsPerOp() {
+			fmt.Fprintf(os.Stderr, "bench: sampling grew allocs/op %d -> %d\n",
+				res.AllocsPerOp(), resSampled.AllocsPerOp())
+			failed = true
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -104,14 +139,16 @@ func main() {
 	}
 
 	report := map[string]any{
-		"benchmark":     "SimTick",
-		"iterations":    res.N,
-		"ns_per_op":     nsPerOp,
-		"bytes_per_op":  res.AllocedBytesPerOp(),
-		"allocs_per_op": res.AllocsPerOp(),
-		"goos":          runtime.GOOS,
-		"goarch":        runtime.GOARCH,
-		"go_version":    runtime.Version(),
+		"benchmark":             "SimTick",
+		"iterations":            res.N,
+		"ns_per_op":             nsPerOp,
+		"bytes_per_op":          res.AllocedBytesPerOp(),
+		"allocs_per_op":         res.AllocsPerOp(),
+		"sampled_ns_per_op":     nsSampled,
+		"sampled_allocs_per_op": resSampled.AllocsPerOp(),
+		"goos":                  runtime.GOOS,
+		"goarch":                runtime.GOARCH,
+		"go_version":            runtime.Version(),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -123,6 +160,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations) -> %s\n",
-		report["ns_per_op"], res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N, *out)
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op -> %s\n",
+		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N, nsSampled, resSampled.AllocsPerOp(), *out)
 }

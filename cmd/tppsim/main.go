@@ -19,6 +19,17 @@
 //	tppsim -workload Web1 -policy default -record web1.trace.gz
 //	tppsim -replay web1.trace.gz -policy all
 //	tppsim -replay web1.trace.gz -policy tpp -minutes 120 -loop
+//
+// Time series: -series samples every node's vmstat deltas and residency
+// per tick into the columnar series plane and renders it as a flow
+// table plus terminal sparklines (-sample-every sets the cadence, -csv
+// dumps the full plane). -trace-stats renders the same series straight
+// from a recorded trace's per-node TickEnd payload — a pure decode, no
+// machine is built or re-run:
+//
+//	tppsim -workload Cache2 -policy tpp -series
+//	tppsim -workload Cache2 -policy tpp -record c2.trace -sample-every 1
+//	tppsim -trace-stats c2.trace -csv c2-series.csv
 package main
 
 import (
@@ -29,8 +40,8 @@ import (
 
 	"tppsim/internal/core"
 	"tppsim/internal/mem"
-	"tppsim/internal/metrics"
 	"tppsim/internal/report"
+	"tppsim/internal/series"
 	"tppsim/internal/sim"
 	"tppsim/internal/tier"
 	"tppsim/internal/trace"
@@ -49,13 +60,33 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters (per node on multi-node machines)")
 		nodesFl  = flag.Bool("nodes", false, "print the per-node residency/counter table")
-		series   = flag.Bool("series", false, "dump the local-traffic time series as CSV")
+		seriesFl = flag.Bool("series", false, "sample the per-tick per-node series plane and print flow table + sparklines")
+		sampleEv = flag.Int("sample-every", 0, "series sampling cadence in ticks (implies sampling; default 1 when -series/-csv set)")
+		csvOut   = flag.String("csv", "", "write the sampled node series as CSV to FILE (\"-\" for stdout)")
+		trStats  = flag.String("trace-stats", "", "decode FILE's per-node tick payload into the series plane and render it (no machine is run)")
 		list     = flag.Bool("list", false, "list catalog workloads and exit")
 		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
 		replayF  = flag.String("replay", "", "replay a trace FILE instead of running a catalog workload")
 		loop     = flag.Bool("loop", false, "with -replay: loop the trace when the run outlasts it (otherwise the machine idles)")
 	)
 	flag.Parse()
+
+	// -series/-csv without an explicit cadence sample every tick.
+	if (*seriesFl || *csvOut != "") && *sampleEv == 0 {
+		*sampleEv = 1
+	}
+
+	if *trStats != "" {
+		if *replayF != "" || *recordTo != "" {
+			fmt.Fprintln(os.Stderr, "-trace-stats is a pure decode; it excludes -replay and -record")
+			os.Exit(2)
+		}
+		if err := runTraceStats(*trStats, *sampleEv, *seriesFl, *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
@@ -95,6 +126,10 @@ func main() {
 	}
 	if *recordTo != "" && len(policies) > 1 {
 		fmt.Fprintln(os.Stderr, "-record needs a single policy (a trace captures one run)")
+		os.Exit(2)
+	}
+	if *csvOut != "" && *csvOut != "-" && len(policies) > 1 {
+		fmt.Fprintln(os.Stderr, "-csv FILE needs a single policy (each run would overwrite the file); use -csv - to stream all runs")
 		os.Exit(2)
 	}
 	if *recordTo != "" && *replayF != "" {
@@ -143,10 +178,11 @@ func main() {
 
 	for _, p := range policies {
 		cfg := sim.Config{
-			Seed:     *seed,
-			Policy:   p,
-			Minutes:  *minutes,
-			RecordTo: *recordTo,
+			Seed:             *seed,
+			Policy:           p,
+			Minutes:          *minutes,
+			RecordTo:         *recordTo,
+			SampleEveryTicks: *sampleEv,
 		}
 		if len(topo.Nodes) > 0 {
 			cfg.Topology = topo
@@ -182,10 +218,75 @@ func main() {
 				}
 			}
 		}
-		if *series {
-			dumpSeries(&res.LocalTraffic)
+		if res.NodeSeries != nil {
+			labels := report.NodeLabels(res.Nodes, res.NodeSeries.Nodes())
+			if *seriesFl {
+				printSeries(res.NodeSeries, labels)
+			}
+			if *csvOut != "" {
+				if err := writeCSV(*csvOut, res.NodeSeries, labels); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
 		}
 	}
+}
+
+// printSeries renders the sampled plane for a terminal: a flow table
+// rebinned to at most 20 windows plus full-resolution sparklines.
+func printSeries(s *series.Series, labels []string) {
+	fmt.Print(report.FlowTable(s.Rebin(20), labels).String())
+	fmt.Print(report.SeriesPanel(s, labels))
+}
+
+// writeCSV dumps the full sampled plane ("-" writes to stdout).
+func writeCSV(path string, s *series.Series, labels []string) error {
+	csv := report.SeriesColumnsCSV(s, labels)
+	if path == "-" {
+		fmt.Print(csv)
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  series: %d windows x %d ticks -> %s\n", s.Len(), s.Cadence(), path)
+	return nil
+}
+
+// runTraceStats decodes a recorded trace's per-node tick payload into
+// the series plane and renders it — the trace-analysis path: no
+// machine, no policy, one pass over the encoded stream.
+func runTraceStats(path string, sampleEvery int, printPanel bool, csvPath string) error {
+	tr, err := trace.Load(path)
+	if err != nil {
+		return err
+	}
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	s, err := tr.Stats(trace.StatsOptions{SampleEvery: uint64(sampleEvery)})
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	fmt.Printf("%s: workload=%s format v%d, %d nodes, %d windows x %d ticks (levels: %v)\n",
+		path, h.Name, h.Version, s.Nodes(), s.Len(), s.Cadence(), s.HasLevels())
+	var labels []string
+	if h.Topology != nil && len(h.Topology.Nodes) == s.Nodes() {
+		labels = make([]string, s.Nodes())
+		for i, n := range h.Topology.Nodes {
+			labels[i] = fmt.Sprintf("n%d %s", i, n.Kind)
+		}
+	}
+	fmt.Print(report.FlowTable(s.Rebin(20), labels).String())
+	if printPanel {
+		fmt.Print(report.SeriesPanel(s, labels))
+	}
+	if csvPath != "" {
+		return writeCSV(csvPath, s, labels)
+	}
+	return nil
 }
 
 func selectPolicies(name string) ([]core.Policy, error) {
@@ -216,11 +317,4 @@ func indent(s string) string {
 		lines[i] = "    " + lines[i]
 	}
 	return strings.Join(lines, "\n") + "\n"
-}
-
-func dumpSeries(s *metrics.Series) {
-	fmt.Println("minute,local_traffic")
-	for i := range s.Y {
-		fmt.Printf("%.1f,%.4f\n", s.X[i], s.Y[i])
-	}
 }

@@ -54,13 +54,18 @@ type Config struct {
 	DemoteBatch int
 	// CrashEpochs is how many consecutive starved epochs (promotion
 	// demand with zero slots) the implementation survives on a
-	// too-small local tier before failing. Default 3.
+	// too-small socket before failing. Default 3.
 	CrashEpochs int
-	// MinLocalFraction is the smallest CPU-tier share of total memory
-	// the implementation tolerates: below it, sustained promotion
-	// starvation crashes the run. The paper reports the crash at 1:4
-	// (local = 20%) without a diagnosis, so the boundary is modeled as a
-	// capacity assertion. Default 0.25.
+	// MinLocalFraction is the smallest per-socket share of total memory
+	// the implementation tolerates: a socket below it that stays
+	// promotion-starved for CrashEpochs consecutive epochs crashes the
+	// run. The heuristic is per-socket — a starved socket counts
+	// against its own capacity share, not the machine-wide CPU-tier
+	// aggregate, so a memory-poor socket on an otherwise roomy
+	// dual-socket machine still reproduces the instability (on
+	// single-socket machines the two formulations coincide). The paper
+	// reports the crash at 1:4 (local = 20%) without a diagnosis, so
+	// the boundary is modeled as a capacity assertion. Default 0.25.
 	MinLocalFraction float64
 }
 
@@ -90,6 +95,12 @@ type socket struct {
 	bufferSlots    int
 	bufferCapacity int
 	demoteTo       []mem.NodeID
+
+	// Crash-heuristic state, per socket: starved marks a promotion
+	// refused for lack of slots since the last epoch; starvedEpochs
+	// counts consecutive starved epochs on this socket.
+	starved       bool
+	starvedEpochs int
 }
 
 // Tiering is the AutoTiering daemon.
@@ -106,10 +117,8 @@ type Tiering struct {
 	sockets  []socket
 	socketOf []int
 
-	sinceEpoch    uint64
-	starvedEpochs int
-	starvedNow    bool
-	failed        bool
+	sinceEpoch uint64
+	failed     bool
 
 	// epoch-pass scratch, reused across epochs.
 	cands []cand
@@ -191,7 +200,7 @@ func (t *Tiering) PromotionGate(target mem.NodeID) bool {
 	if t.sockets[i].bufferSlots > 0 {
 		return true
 	}
-	t.starvedNow = true
+	t.sockets[i].starved = true
 	return false
 }
 
@@ -230,24 +239,28 @@ func (t *Tiering) Tick() float64 {
 		spent += t.epoch(&t.sockets[i])
 	}
 
-	// Crash heuristic: an epoch during which promotions were refused for
-	// lack of buffer slots is "starved". On a CPU tier below the
-	// implementation's tolerated share of total memory, several starved
-	// epochs in a row crash it (the paper's 1:4 failure).
-	var localCap uint64
+	// Crash heuristic, per socket: an epoch during which promotions into
+	// a socket were refused for lack of buffer slots is "starved" for
+	// that socket. A socket whose own capacity share of the machine is
+	// below the tolerated fraction crashes the run after several starved
+	// epochs in a row (the paper's 1:4 failure) — a starved socket
+	// counts against its own share, so one memory-poor socket fails the
+	// implementation even when the machine-wide CPU tier is roomy. On
+	// single-socket machines this is exactly the aggregate heuristic.
+	total := float64(t.topo.TotalCapacity())
 	for i := range t.sockets {
-		localCap += t.topo.Node(t.sockets[i].node).Capacity
-	}
-	localShare := float64(localCap) / float64(t.topo.TotalCapacity())
-	if t.starvedNow && localShare < t.cfg.MinLocalFraction {
-		t.starvedEpochs++
-		if t.starvedEpochs >= t.cfg.CrashEpochs {
-			t.failed = true
+		s := &t.sockets[i]
+		share := float64(t.topo.Node(s.node).Capacity) / total
+		if s.starved && share < t.cfg.MinLocalFraction {
+			s.starvedEpochs++
+			if s.starvedEpochs >= t.cfg.CrashEpochs {
+				t.failed = true
+			}
+		} else {
+			s.starvedEpochs = 0
 		}
-	} else {
-		t.starvedEpochs = 0
+		s.starved = false
 	}
-	t.starvedNow = false
 	return spent
 }
 

@@ -25,7 +25,22 @@ func newFixture(t *testing.T, cfg Config, localPages, cxlPages uint64) *fixture 
 	if err != nil {
 		t.Fatal(err)
 	}
-	store := mem.NewStore(int(localPages + cxlPages))
+	return fixtureOver(cfg, topo)
+}
+
+// newFixtureSpec assembles a fixture over an arbitrary topology spec
+// with absolute per-node page counts.
+func newFixtureSpec(t *testing.T, cfg Config, spec tier.Spec) *fixture {
+	t.Helper()
+	topo, err := spec.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixtureOver(cfg, topo)
+}
+
+func fixtureOver(cfg Config, topo *tier.Topology) *fixture {
+	store := mem.NewStore(int(topo.TotalCapacity()))
 	vecs := make([]*lru.Vec, topo.NumNodes())
 	for i := range vecs {
 		vecs[i] = lru.NewVec(store)
@@ -192,6 +207,83 @@ func TestStarvationRecoveryResetsCounter(t *testing.T) {
 	f.runEpochs(1)
 	f.runEpochs(1) // no starvation this epoch
 	f.at.PromotionGate(0)
+	f.runEpochs(1)
+	if f.at.Failed() {
+		t.Fatal("non-consecutive starvation crashed AutoTiering")
+	}
+}
+
+// asymDualSpec is a dual-socket machine with one memory-poor socket:
+// socket 1 holds 10% of total memory (below the tolerated 25%), while
+// the CPU tier in aggregate holds 50% (well above it). Only a
+// per-socket crash heuristic distinguishes the two.
+func asymDualSpec() tier.Spec {
+	return tier.Spec{
+		Name: "dualsocket-asym-test",
+		Nodes: []tier.NodeSpec{
+			{Kind: mem.KindLocal, Pages: 4000},
+			{Kind: mem.KindLocal, Pages: 1000},
+			{Kind: mem.KindCXL, Pages: 2500},
+			{Kind: mem.KindCXL, Pages: 2500},
+		},
+		Distance: [][]int{
+			{10, 32, 20, 42},
+			{32, 10, 42, 20},
+			{20, 42, 10, 52},
+			{42, 20, 52, 10},
+		},
+	}
+}
+
+// drainSocket consumes every promotion-buffer slot of one CPU node.
+func (f *fixture) drainSocket(id mem.NodeID) {
+	for f.at.NodeBufferSlots(id) > 0 {
+		f.at.OnPromoted(id)
+	}
+}
+
+// TestPerSocketCrashOnStarvedSmallSocket pins the per-socket crash
+// heuristic on the dual-socket machine: sustained promotion starvation
+// on the memory-poor socket (10% of total) crashes the run even though
+// the machine-wide CPU tier holds 50% — under the old aggregate
+// heuristic this configuration could never fail.
+func TestPerSocketCrashOnStarvedSmallSocket(t *testing.T) {
+	f := newFixtureSpec(t, Config{CrashEpochs: 3, BufferFraction: 0.001}, asymDualSpec())
+	f.drainSocket(1)
+	for e := 0; e < 5 && !f.at.Failed(); e++ {
+		f.at.PromotionGate(1) // starved promotion demand into socket 1
+		f.runEpochs(1)
+	}
+	if !f.at.Failed() {
+		t.Fatal("sustained starvation on the small (10 pct share) socket did not crash AutoTiering")
+	}
+}
+
+// TestNoPerSocketCrashOnLargeSocket is the other half of the pin: the
+// same starvation pattern against the large socket (40% of total, above
+// the tolerated share) must never crash — each socket is judged by its
+// own share.
+func TestNoPerSocketCrashOnLargeSocket(t *testing.T) {
+	f := newFixtureSpec(t, Config{CrashEpochs: 3, BufferFraction: 0.001}, asymDualSpec())
+	f.drainSocket(0)
+	for e := 0; e < 6; e++ {
+		f.at.PromotionGate(0)
+		f.runEpochs(1)
+	}
+	if f.at.Failed() {
+		t.Fatal("starvation on the large (40 pct share) socket crashed AutoTiering")
+	}
+}
+
+// TestPerSocketStarvationRecovery: a quiet epoch on the small socket
+// resets its counter, exactly like the single-socket heuristic.
+func TestPerSocketStarvationRecovery(t *testing.T) {
+	f := newFixtureSpec(t, Config{CrashEpochs: 2, BufferFraction: 0.001}, asymDualSpec())
+	f.drainSocket(1)
+	f.at.PromotionGate(1)
+	f.runEpochs(1)
+	f.runEpochs(1) // no starvation this epoch
+	f.at.PromotionGate(1)
 	f.runEpochs(1)
 	if f.at.Failed() {
 		t.Fatal("non-consecutive starvation crashed AutoTiering")

@@ -93,6 +93,7 @@ func Registry() []Spec {
 		{"X3", "Steady-state migration bandwidth (§7)", X3},
 		{"MT1", "Throughput vs memory-tier depth (multi-hop expander)", MT1},
 		{"MT2", "Per-node flows across share mixes and distance matrices", MT2},
+		{"MT3", "Dual-socket residency/flows over time (series plane)", MT3},
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"tppsim/internal/series"
 	"tppsim/internal/vmstat"
 )
 
@@ -195,6 +196,14 @@ type Run struct {
 	// over Nodes reproduces the run's global value exactly. Populated
 	// for failed runs too.
 	Nodes []NodeResult
+
+	// NodeSeries is the per-tick per-node plane: every node's vmstat
+	// counter deltas per sample window plus its residency levels at each
+	// window end, sampled by the machine when Config.SampleEveryTicks is
+	// set (nil otherwise). It is the single per-tick representation —
+	// trace.Stats reconstructs the identical series from a recorded
+	// trace without re-running the machine.
+	NodeSeries *series.Series
 }
 
 // NodeResult is one memory node's end-of-run accounting: identity,

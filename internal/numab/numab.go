@@ -223,13 +223,14 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 	}
 	b.stat.Inc(pg.Node, vmstat.PgpromoteCandidate)
 
-	// One hop toward the CPU: the least-pressured node of the next tier
-	// up. On the paper's 2-node box this is exactly §5.3's "local node
-	// with the lowest memory pressure"; on multi-hop machines a far-tier
-	// page climbs tier by tier. The target is resolved before the gate
-	// so a per-node gate (AutoTiering's per-socket buffers) knows which
-	// buffer the promotion would consume.
-	target := b.topo.PromotionTargetFrom(pg.Node)
+	// One hop toward the CPU, preferring the page's home socket when the
+	// tier above contains it (multi-socket machines; elsewhere this is
+	// exactly the least-pressured node of the next tier up — §5.3's
+	// "local node with the lowest memory pressure" on the 2-node box,
+	// the tier-by-tier climb on multi-hop machines). The target is
+	// resolved before the gate so a per-node gate (AutoTiering's
+	// per-socket buffers) knows which buffer the promotion would consume.
+	target := b.topo.PromotionTargetToward(pg.Home, pg.Node)
 	if target == mem.NilNode {
 		b.stat.Inc(pg.Node, vmstat.PromoteFailGlobal)
 		return out

@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"tppsim/internal/metrics"
+	"tppsim/internal/series"
 	"tppsim/internal/vmstat"
+	"tppsim/internal/workload"
 )
 
 // Table is a simple row-oriented result table.
@@ -104,6 +106,187 @@ func NodeTable(r *metrics.Run) *Table {
 	}
 	t.AddNote("pgpromote counts promotions INTO the node, pgdemote demotions OFF it; see internal/vmstat for the full attribution")
 	return t
+}
+
+// NodeLabels returns display labels for a series' nodes from a run's
+// per-node accounting ("n0 local", "n1 cxl", ...); nil metadata falls
+// back to bare node numbers.
+func NodeLabels(nodes []metrics.NodeResult, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("n%d", i)
+		if i < len(nodes) {
+			out[i] = fmt.Sprintf("n%d %s", i, nodes[i].Kind)
+		}
+	}
+	return out
+}
+
+// FlowTable renders a sampled node series as one row per sample window:
+// the window's end minute, then per node the allocation, promotion, and
+// demotion flows of the window and (when the series carries levels) the
+// node's resident pages at the window's end. Delta cells are window
+// sums, so each flow column totals to the run's global counter. Rebin
+// the series first to bound the row count.
+func FlowTable(s *series.Series, labels []string) *Table {
+	if labels == nil {
+		labels = NodeLabels(nil, s.Nodes())
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Per-node flows over time (%d windows x %d ticks)", s.Len(), s.Cadence()),
+		Columns: []string{"minute"},
+	}
+	for n := 0; n < s.Nodes(); n++ {
+		t.Columns = append(t.Columns, labels[n]+" alloc", labels[n]+" promo", labels[n]+" demote")
+		if s.HasLevels() {
+			t.Columns = append(t.Columns, labels[n]+" resident")
+		}
+	}
+	for i := 0; i < s.Len(); i++ {
+		row := []string{fmt.Sprintf("%.1f", float64(s.EndTick(i)+1)/workload.TicksPerMinute)}
+		for n := 0; n < s.Nodes(); n++ {
+			row = append(row,
+				fmt.Sprintf("%d", s.Delta(n, vmstat.PgallocLocal, i)+s.Delta(n, vmstat.PgallocCXL, i)),
+				fmt.Sprintf("%d", s.Delta(n, vmstat.PgpromoteSuccess, i)),
+				fmt.Sprintf("%d", s.Delta(n, vmstat.PgdemoteKswapd, i)+s.Delta(n, vmstat.PgdemoteDirect, i)))
+			if s.HasLevels() {
+				row = append(row, fmt.Sprintf("%d", s.Level(n, series.LevelResident, i)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("promo counts promotions INTO the node, demote demotions OFF it (vmstat attribution)")
+	return t
+}
+
+// sparkRunes are the eight block glyphs Sparkline scales into.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a width-glyph terminal strip, bucketing by
+// mean and scaling min..max across the full value range. A flat series
+// renders as a run of the lowest glyph.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		start, end := i*len(vals)/width, (i+1)*len(vals)/width
+		if end == start {
+			end = start + 1
+		}
+		sum := 0.0
+		for _, v := range vals[start:end] {
+			sum += v
+		}
+		mean := sum / float64(end-start)
+		idx := 0
+		if hi > lo {
+			idx = int((mean - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// sparkColumn extracts one series column as floats for Sparkline.
+func sparkColumn(s *series.Series, get func(i int) uint64) []float64 {
+	out := make([]float64, s.Len())
+	for i := range out {
+		out[i] = float64(get(i))
+	}
+	return out
+}
+
+// SeriesPanel renders a sampled node series as terminal sparklines: per
+// node one line each for residency (when present), promotion flow, and
+// demotion flow, annotated with the min..max the strip spans.
+func SeriesPanel(s *series.Series, labels []string) string {
+	if labels == nil {
+		labels = NodeLabels(nil, s.Nodes())
+	}
+	const width = 48
+	var b strings.Builder
+	fmt.Fprintf(&b, "node series: %d windows x %d ticks\n", s.Len(), s.Cadence())
+	line := func(label, quantity string, vals []float64) {
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Fprintf(&b, "  %-10s %-10s %s  %.0f..%.0f\n", label, quantity, Sparkline(vals, width), lo, hi)
+	}
+	for n := 0; n < s.Nodes(); n++ {
+		if s.Len() == 0 {
+			break
+		}
+		n := n
+		if s.HasLevels() {
+			line(labels[n], "resident", sparkColumn(s, func(i int) uint64 { return s.Level(n, series.LevelResident, i) }))
+		}
+		line(labels[n], "promote", sparkColumn(s, func(i int) uint64 { return s.Delta(n, vmstat.PgpromoteSuccess, i) }))
+		line(labels[n], "demote", sparkColumn(s, func(i int) uint64 {
+			return s.Delta(n, vmstat.PgdemoteKswapd, i) + s.Delta(n, vmstat.PgdemoteDirect, i)
+		}))
+	}
+	return b.String()
+}
+
+// SeriesColumnsCSV renders the full sampled plane as CSV: one row per
+// sample window with its end tick and minute, then per node the level
+// columns (when present) and every delta column that is non-zero
+// somewhere in the run (all-zero counters are skipped — most of the
+// counter space is silent in any one run).
+func SeriesColumnsCSV(s *series.Series, labels []string) string {
+	if labels == nil {
+		labels = NodeLabels(nil, s.Nodes())
+	}
+	slug := func(l string) string { return strings.ReplaceAll(l, " ", "_") }
+	active := s.ActiveCounters()
+	var b strings.Builder
+	b.WriteString("tick,minute")
+	for n := 0; n < s.Nodes(); n++ {
+		if s.HasLevels() {
+			for k := 0; k < series.NumLevels; k++ {
+				fmt.Fprintf(&b, ",%s.%s", slug(labels[n]), series.LevelKind(k))
+			}
+		}
+		for _, c := range active {
+			fmt.Fprintf(&b, ",%s.%s", slug(labels[n]), c)
+		}
+	}
+	b.WriteString("\n")
+	for i := 0; i < s.Len(); i++ {
+		fmt.Fprintf(&b, "%d,%.2f", s.EndTick(i), float64(s.EndTick(i)+1)/workload.TicksPerMinute)
+		for n := 0; n < s.Nodes(); n++ {
+			if s.HasLevels() {
+				for k := 0; k < series.NumLevels; k++ {
+					fmt.Fprintf(&b, ",%d", s.Level(n, series.LevelKind(k), i))
+				}
+			}
+			for _, c := range active {
+				fmt.Fprintf(&b, ",%d", s.Delta(n, c, i))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // Pct formats a fraction as a percentage with one decimal.

@@ -1,0 +1,362 @@
+// Package series is the simulator's per-tick per-node time-series plane:
+// a columnar, self-downsampling store that holds, for every memory node,
+// the vmstat counter *deltas* of each sample window plus the node's
+// residency *levels* at the window's end. It is the single per-tick
+// representation shared by live runs (sim samples into it from the tick
+// loop) and trace analysis (trace.Stats folds a recorded stream's
+// per-node TickEnd payload into it), so a decoded series can be compared
+// bit-for-bit against the live-sampled series of the recording run.
+//
+// # Columns: deltas vs levels
+//
+// Every column is one (node, quantity) pair over time, stored
+// column-major in a single backing slice. The two column classes behave
+// differently under aggregation, which is why the split is explicit:
+//
+//   - delta columns (one per vmstat counter per node) hold how much the
+//     counter grew during the sample window. Windows are disjoint and
+//     exhaustive, so deltas are *summable*: merging two adjacent windows
+//     adds their deltas, and the whole column sums to the counter's
+//     final value.
+//   - level columns (resident/anon/file pages per node) hold the state
+//     at the window's *end*. Levels are not summable; merging two
+//     windows keeps the later window's value.
+//
+// # Cadence coarsening
+//
+// A Sampler records one sample every Every ticks into a fixed Budget of
+// retained samples. When the budget fills, the series coarsens itself:
+// adjacent sample pairs merge (delta columns add, level columns keep the
+// window-end value) and the cadence doubles, so a run of any length
+// needs at most Budget samples of memory and the stored series always
+// covers the whole run at uniform resolution. Coarsening is exact in
+// the summable sense: every coarse window's delta equals the sum of the
+// fine windows it replaced.
+//
+// Observing a tick that is not on the cadence is a single integer
+// compare (Sampler.Due) — the hot tick loop pays nothing for the plane
+// on non-sample ticks, and sample ticks write into preallocated columns
+// without allocating.
+package series
+
+import (
+	"fmt"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+)
+
+// DefaultBudget is the default maximum number of retained samples. It is
+// even so the coarsening pass always merges complete pairs.
+const DefaultBudget = 512
+
+// LevelKind names one per-node level column.
+type LevelKind uint8
+
+// Level columns per node: total resident pages, resident anon pages, and
+// resident file+tmpfs pages (the paper's anon/file split).
+const (
+	LevelResident LevelKind = iota
+	LevelAnon
+	LevelFile
+
+	numLevels
+)
+
+// NumLevels is the number of level columns per node.
+const NumLevels = int(numLevels)
+
+// String returns the level column's name.
+func (k LevelKind) String() string {
+	switch k {
+	case LevelResident:
+		return "resident"
+	case LevelAnon:
+		return "resident_anon"
+	case LevelFile:
+		return "resident_file"
+	}
+	return fmt.Sprintf("level(%d)", uint8(k))
+}
+
+// Levels is one node's residency snapshot at a sample boundary.
+type Levels struct {
+	Resident uint64 // total resident pages
+	Anon     uint64 // resident anon pages
+	File     uint64 // resident file + tmpfs pages
+}
+
+// Config tunes a Sampler.
+type Config struct {
+	// Every is the initial sampling cadence in ticks (default 1: sample
+	// every tick until the budget forces coarsening).
+	Every uint64
+	// Budget is the maximum number of retained samples; it must be even
+	// (default DefaultBudget). When full, the series halves itself and
+	// the cadence doubles.
+	Budget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Every == 0 {
+		c.Every = 1
+	}
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Budget%2 != 0 {
+		c.Budget++
+	}
+	return c
+}
+
+// Series is the stored plane: count samples over nodes, each sample
+// holding every node's counter deltas for the window plus its levels at
+// the window end. Samples are uniform: sample i covers ticks
+// [i*Cadence, (i+1)*Cadence), except that a Rebin of an odd-length
+// series leaves its final sample covering the shorter remainder window
+// (EndTick reports the true end either way).
+type Series struct {
+	nodes     int
+	baseEvery uint64
+	cadence   uint64
+	budget    int
+	count     int
+	hasLevels bool
+	lastTick  uint64
+	// data is column-major: column c occupies data[c*budget : c*budget+count].
+	// Columns are ordered: all delta columns (node-major, counter-minor),
+	// then all level columns (node-major, kind-minor).
+	data []uint64
+}
+
+func newSeries(nodes int, cfg Config) *Series {
+	cols := nodes * (vmstat.NumCounters + NumLevels)
+	return &Series{
+		nodes:     nodes,
+		baseEvery: cfg.Every,
+		cadence:   cfg.Every,
+		budget:    cfg.Budget,
+		data:      make([]uint64, cols*cfg.Budget),
+	}
+}
+
+// deltaCol returns the column index of (node, counter).
+func (s *Series) deltaCol(node int, c vmstat.Counter) int {
+	return node*vmstat.NumCounters + int(c)
+}
+
+// levelCol returns the column index of (node, kind).
+func (s *Series) levelCol(node int, k LevelKind) int {
+	return s.nodes*vmstat.NumCounters + node*NumLevels + int(k)
+}
+
+// Nodes returns the number of memory nodes the series covers.
+func (s *Series) Nodes() int { return s.nodes }
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return s.count }
+
+// Cadence returns the current ticks-per-sample (BaseEvery × 2^coarsenings).
+func (s *Series) Cadence() uint64 { return s.cadence }
+
+// BaseEvery returns the configured pre-coarsening cadence.
+func (s *Series) BaseEvery() uint64 { return s.baseEvery }
+
+// HasLevels reports whether the level columns carry data (false for
+// series decoded from traces recorded before residency levels existed).
+func (s *Series) HasLevels() bool { return s.hasLevels }
+
+// EndTick returns the 0-based tick the i-th sample window ends on.
+func (s *Series) EndTick(i int) uint64 {
+	if i == s.count-1 {
+		return s.lastTick
+	}
+	return uint64(i+1)*s.cadence - 1
+}
+
+// Delta returns the (node, counter) delta of sample i: how much the
+// counter grew during the window.
+func (s *Series) Delta(node int, c vmstat.Counter, i int) uint64 {
+	return s.data[s.deltaCol(node, c)*s.budget+i]
+}
+
+// Level returns the (node, kind) level at the end of sample i's window.
+func (s *Series) Level(node int, k LevelKind, i int) uint64 {
+	return s.data[s.levelCol(node, k)*s.budget+i]
+}
+
+// DeltaTotal returns the sum of a delta column over all samples — the
+// counter's total growth over the sampled run.
+func (s *Series) DeltaTotal(node int, c vmstat.Counter) uint64 {
+	col := s.data[s.deltaCol(node, c)*s.budget:]
+	var sum uint64
+	for i := 0; i < s.count; i++ {
+		sum += col[i]
+	}
+	return sum
+}
+
+// ActiveCounters returns, in enum order, the counters whose delta
+// columns are non-zero on at least one node — the reporting edge uses it
+// to skip the (many) all-zero columns.
+func (s *Series) ActiveCounters() []vmstat.Counter {
+	var out []vmstat.Counter
+	for c := 0; c < vmstat.NumCounters; c++ {
+		for n := 0; n < s.nodes; n++ {
+			if s.DeltaTotal(n, vmstat.Counter(c)) != 0 {
+				out = append(out, vmstat.Counter(c))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two series hold identical samples: same node
+// count, cadence history, length, level presence, and every retained
+// cell bit-for-bit. Backing budgets may differ.
+func (s *Series) Equal(o *Series) bool {
+	if s.nodes != o.nodes || s.baseEvery != o.baseEvery || s.cadence != o.cadence ||
+		s.count != o.count || s.hasLevels != o.hasLevels || s.lastTick != o.lastTick {
+		return false
+	}
+	cols := s.nodes * (vmstat.NumCounters + NumLevels)
+	for c := 0; c < cols; c++ {
+		a := s.data[c*s.budget:]
+		b := o.data[c*o.budget:]
+		for i := 0; i < s.count; i++ {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coarsen merges adjacent sample pairs in place — delta columns add,
+// level columns keep the later (window-end) value — and doubles the
+// cadence. An odd final sample (possible only via Rebin) carries over
+// unpaired as the remainder window.
+func (s *Series) coarsen() {
+	pairs := s.count / 2
+	odd := s.count % 2
+	cols := s.nodes * (vmstat.NumCounters + NumLevels)
+	levelStart := s.nodes * vmstat.NumCounters
+	for c := 0; c < cols; c++ {
+		col := s.data[c*s.budget : c*s.budget+s.count]
+		if c < levelStart {
+			for i := 0; i < pairs; i++ {
+				col[i] = col[2*i] + col[2*i+1]
+			}
+		} else {
+			for i := 0; i < pairs; i++ {
+				col[i] = col[2*i+1]
+			}
+		}
+		if odd == 1 {
+			col[pairs] = col[s.count-1]
+		}
+	}
+	s.count = pairs + odd
+	s.cadence *= 2
+}
+
+// Rebin returns a copy of the series coarsened until it holds at most
+// max samples — the display-resolution knob (the stored series keeps its
+// full budget). max < 1 is treated as 1.
+func (s *Series) Rebin(max int) *Series {
+	if max < 1 {
+		max = 1
+	}
+	out := &Series{
+		nodes: s.nodes, baseEvery: s.baseEvery, cadence: s.cadence,
+		budget: s.budget, count: s.count, hasLevels: s.hasLevels,
+		lastTick: s.lastTick,
+		data:     append([]uint64(nil), s.data...),
+	}
+	for out.count > max {
+		out.coarsen()
+	}
+	return out
+}
+
+// Sampler builds a Series from a live tick stream. The caller gates with
+// Due — one compare per tick — and calls Observe only on due ticks, so
+// non-sample ticks cost nothing and sample ticks write into the
+// preallocated columns without allocating.
+type Sampler struct {
+	s    *Series
+	next uint64
+	// prev holds the cumulative per-(node,counter) values at the last
+	// sample, node-major, so each window's delta is two reads and a
+	// subtract.
+	prev []uint64
+}
+
+// NewSampler returns a sampler for a machine of the given node count.
+func NewSampler(nodes int, cfg Config) *Sampler {
+	cfg = cfg.withDefaults()
+	return &Sampler{
+		s:    newSeries(nodes, cfg),
+		next: cfg.Every - 1,
+		prev: make([]uint64, nodes*vmstat.NumCounters),
+	}
+}
+
+// Due reports whether tick closes the current sample window. Ticks are
+// 0-based; the first window ends on tick Every-1.
+func (p *Sampler) Due(tick uint64) bool { return tick == p.next }
+
+// Observe records the sample that ends on tick: every node's counter
+// deltas since the previous sample (stat is the machine's cumulative
+// node-indexed plane) and, when levels is non-nil, each node's residency
+// at the window end. Call only when Due(tick) is true.
+func (p *Sampler) Observe(tick uint64, stat *vmstat.NodeStats, levels []Levels) {
+	p.record(tick, stat, levels)
+	p.next = tick + p.s.cadence
+}
+
+// Flush records the final — possibly partial — window ending on tick:
+// the ticks observed since the last on-cadence sample. Without it a run
+// whose length is not a multiple of the cadence would drop its tail and
+// the delta columns would undercount the final counters. Call once when
+// the run or stream ends; a tick that was already sampled is a no-op.
+func (p *Sampler) Flush(tick uint64, stat *vmstat.NodeStats, levels []Levels) {
+	if p.s.count > 0 && p.s.lastTick >= tick {
+		return
+	}
+	p.record(tick, stat, levels)
+}
+
+func (p *Sampler) record(tick uint64, stat *vmstat.NodeStats, levels []Levels) {
+	s := p.s
+	i := s.count
+	for n := 0; n < s.nodes; n++ {
+		base := n * vmstat.NumCounters
+		for c := 0; c < vmstat.NumCounters; c++ {
+			cur := stat.GetNode(mem.NodeID(n), vmstat.Counter(c))
+			s.data[(base+c)*s.budget+i] = cur - p.prev[base+c]
+			p.prev[base+c] = cur
+		}
+	}
+	if levels != nil {
+		if i == 0 {
+			s.hasLevels = true
+		}
+		for n, lv := range levels[:s.nodes] {
+			s.data[s.levelCol(n, LevelResident)*s.budget+i] = lv.Resident
+			s.data[s.levelCol(n, LevelAnon)*s.budget+i] = lv.Anon
+			s.data[s.levelCol(n, LevelFile)*s.budget+i] = lv.File
+		}
+	}
+	s.count++
+	s.lastTick = tick
+	if s.count == s.budget {
+		s.coarsen()
+	}
+}
+
+// Series returns the series built so far. The sampler keeps writing into
+// the same store, so take the result only when sampling is done.
+func (p *Sampler) Series() *Series { return p.s }

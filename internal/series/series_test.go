@@ -1,0 +1,200 @@
+package series
+
+import (
+	"testing"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+)
+
+// drive feeds a deterministic synthetic counter/level stream of the
+// given tick count into a sampler: every tick each node bumps a few
+// counters by tick-dependent amounts and its levels follow a ramp.
+func drive(p *Sampler, nodes int, ticks uint64) {
+	stat := vmstat.NewNodeStats(nodes)
+	levels := make([]Levels, nodes)
+	for tick := uint64(0); tick < ticks; tick++ {
+		for n := 0; n < nodes; n++ {
+			id := mem.NodeID(n)
+			stat.Add(id, vmstat.PgallocLocal, tick%5+uint64(n))
+			stat.Add(id, vmstat.PgpromoteSuccess, (tick*7+uint64(n)*3)%4)
+			stat.Add(id, vmstat.PgdemoteKswapd, tick%3)
+			levels[n] = Levels{
+				Resident: 100 + tick*2 + uint64(n)*1000,
+				Anon:     50 + tick + uint64(n)*500,
+				File:     25 + tick/2,
+			}
+		}
+		if p.Due(tick) {
+			p.Observe(tick, stat, levels)
+		}
+	}
+}
+
+func TestSamplerCadence(t *testing.T) {
+	p := NewSampler(1, Config{Every: 5, Budget: 64})
+	drive(p, 1, 50)
+	s := p.Series()
+	if s.Len() != 10 || s.Cadence() != 5 {
+		t.Fatalf("Len=%d Cadence=%d, want 10 windows x 5 ticks", s.Len(), s.Cadence())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if want := uint64(i+1)*5 - 1; s.EndTick(i) != want {
+			t.Errorf("EndTick(%d)=%d, want %d", i, s.EndTick(i), want)
+		}
+	}
+	if !s.HasLevels() {
+		t.Error("levels fed but HasLevels is false")
+	}
+	// Window-end level: sample i ends on tick 5i+4.
+	for i := 0; i < s.Len(); i++ {
+		if want := 100 + (uint64(i+1)*5-1)*2; s.Level(0, LevelResident, i) != want {
+			t.Errorf("resident[%d]=%d, want %d", i, s.Level(0, LevelResident, i), want)
+		}
+	}
+}
+
+// TestDownsamplingInvariant pins coarsening's exactness: a
+// budget-constrained sampler over the same stream as a fine
+// (uncoarsened) one must hold, per coarse window, exactly the sum of
+// the fine deltas it covers and the fine level at the window's end.
+func TestDownsamplingInvariant(t *testing.T) {
+	const nodes, ticks = 2, 300
+	fine := NewSampler(nodes, Config{Every: 1, Budget: 512})
+	coarse := NewSampler(nodes, Config{Every: 1, Budget: 16})
+	drive(fine, nodes, ticks)
+	drive(coarse, nodes, ticks)
+	fs, cs := fine.Series(), coarse.Series()
+	if fs.Cadence() != 1 {
+		t.Fatalf("fine series coarsened (cadence %d); raise its budget", fs.Cadence())
+	}
+	if cs.Cadence() <= 1 || cs.Len() > 16 {
+		t.Fatalf("coarse series did not coarsen: %d windows x %d ticks", cs.Len(), cs.Cadence())
+	}
+	cad := int(cs.Cadence())
+	for j := 0; j < cs.Len(); j++ {
+		lo, hi := j*cad, (j+1)*cad-1 // fine sample i covers tick i
+		for n := 0; n < nodes; n++ {
+			for c := 0; c < vmstat.NumCounters; c++ {
+				var sum uint64
+				for i := lo; i <= hi && i < fs.Len(); i++ {
+					sum += fs.Delta(n, vmstat.Counter(c), i)
+				}
+				if got := cs.Delta(n, vmstat.Counter(c), j); got != sum {
+					t.Fatalf("window %d node %d %s: coarse delta %d != fine sum %d",
+						j, n, vmstat.Counter(c), got, sum)
+				}
+			}
+			for k := 0; k < NumLevels; k++ {
+				if hi < fs.Len() {
+					if got, want := cs.Level(n, LevelKind(k), j), fs.Level(n, LevelKind(k), hi); got != want {
+						t.Fatalf("window %d node %d %s: coarse level %d != fine window-end %d",
+							j, n, LevelKind(k), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRebin(t *testing.T) {
+	p := NewSampler(1, Config{Every: 1, Budget: 512})
+	drive(p, 1, 100)
+	s := p.Series()
+	r := s.Rebin(10)
+	if r.Len() > 10 {
+		t.Fatalf("Rebin(10) left %d samples", r.Len())
+	}
+	// Totals survive any rebinning.
+	for c := 0; c < vmstat.NumCounters; c++ {
+		if s.DeltaTotal(0, vmstat.Counter(c)) != r.DeltaTotal(0, vmstat.Counter(c)) {
+			t.Fatalf("%s total changed under Rebin", vmstat.Counter(c))
+		}
+	}
+	// The original is untouched.
+	if s.Len() != 100 || s.Cadence() != 1 {
+		t.Fatal("Rebin mutated its receiver")
+	}
+	// Final window end survives (odd remainders keep the true last tick).
+	if r.EndTick(r.Len()-1) != s.EndTick(s.Len()-1) {
+		t.Fatalf("Rebin lost the final tick: %d != %d", r.EndTick(r.Len()-1), s.EndTick(s.Len()-1))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := NewSampler(2, Config{Every: 3, Budget: 32})
+	b := NewSampler(2, Config{Every: 3, Budget: 64}) // budgets may differ
+	drive(a, 2, 60)
+	drive(b, 2, 60)
+	as, bs := a.Series(), b.Series()
+	if as.Cadence() == bs.Cadence() {
+		// Same stream, different budgets: only equal when neither (or
+		// both identically) coarsened — with 20 samples vs budgets 32/64
+		// neither coarsens.
+		if !as.Equal(bs) {
+			t.Fatal("identical streams compare unequal")
+		}
+	}
+	c := NewSampler(2, Config{Every: 3, Budget: 32})
+	drive(c, 2, 57) // one window short
+	if as.Equal(c.Series()) {
+		t.Fatal("different lengths compare equal")
+	}
+}
+
+// TestFlushClosesPartialWindow pins the tail contract: a run whose
+// length is not a multiple of the cadence keeps its remainder ticks via
+// Flush, so delta totals always equal the final counters; a final tick
+// already on cadence makes Flush a no-op.
+func TestFlushClosesPartialWindow(t *testing.T) {
+	stat := vmstat.NewNodeStats(1)
+	run := func(ticks uint64, every uint64) *Series {
+		p := NewSampler(1, Config{Every: every, Budget: 64})
+		for tick := uint64(0); tick < ticks; tick++ {
+			stat.Add(0, vmstat.PgallocLocal, 3)
+			if p.Due(tick) {
+				p.Observe(tick, stat, []Levels{{Resident: tick}})
+			}
+		}
+		p.Flush(ticks-1, stat, []Levels{{Resident: ticks - 1}})
+		return p.Series()
+	}
+	stat.Reset()
+	s := run(100, 7) // 100 = 14*7 + 2: partial final window
+	if got := s.DeltaTotal(0, vmstat.PgallocLocal); got != 300 {
+		t.Fatalf("partial-tail total %d, want 300", got)
+	}
+	if s.Len() != 15 {
+		t.Fatalf("Len=%d, want 14 full + 1 partial window", s.Len())
+	}
+	if s.EndTick(s.Len()-1) != 99 || s.Level(0, LevelResident, s.Len()-1) != 99 {
+		t.Fatalf("partial window end = tick %d level %d, want 99/99",
+			s.EndTick(s.Len()-1), s.Level(0, LevelResident, s.Len()-1))
+	}
+	stat.Reset()
+	s = run(98, 7) // exact multiple: Flush must be a no-op
+	if s.Len() != 14 {
+		t.Fatalf("Len=%d after no-op flush, want 14", s.Len())
+	}
+	if got := s.DeltaTotal(0, vmstat.PgallocLocal); got != 294 {
+		t.Fatalf("exact-multiple total %d, want 294", got)
+	}
+}
+
+func TestNoLevels(t *testing.T) {
+	p := NewSampler(1, Config{Every: 1, Budget: 8})
+	stat := vmstat.NewNodeStats(1)
+	for tick := uint64(0); tick < 20; tick++ {
+		stat.Add(0, vmstat.PgfreeCt, 1)
+		if p.Due(tick) {
+			p.Observe(tick, stat, nil)
+		}
+	}
+	s := p.Series()
+	if s.HasLevels() {
+		t.Fatal("HasLevels true without level input")
+	}
+	if got := s.DeltaTotal(0, vmstat.PgfreeCt); got != 20 {
+		t.Fatalf("pgfree total %d, want 20", got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"tppsim/internal/numab"
 	"tppsim/internal/pagetable"
 	"tppsim/internal/reclaim"
+	"tppsim/internal/series"
 	"tppsim/internal/swap"
 	"tppsim/internal/tier"
 	"tppsim/internal/tmo"
@@ -89,6 +90,15 @@ type Config struct {
 	AccessScale float64
 	// RecordEveryTicks sets the series resolution (default 30).
 	RecordEveryTicks int
+	// SampleEveryTicks enables the per-tick per-node series plane: every
+	// N ticks the machine snapshots each node's vmstat deltas and
+	// residency into a columnar self-coarsening series
+	// (metrics.Run.NodeSeries). 0 — the default — disables sampling;
+	// runs are then bit- and alloc-identical to pre-plane builds.
+	SampleEveryTicks int
+	// SampleBudget caps the retained samples (default 512); a full
+	// series halves itself and doubles its cadence.
+	SampleBudget int
 	// EnableChameleon attaches the profiler.
 	EnableChameleon bool
 	// ChameleonConfig overrides profiler defaults when enabled.
@@ -188,6 +198,11 @@ type Machine struct {
 	// fold needs. Plain integers: non-record ticks allocate nothing.
 	prevPromote uint64
 	prevDemote  uint64
+
+	// Per-tick per-node sampling (Config.SampleEveryTicks): nil when
+	// off; levelsBuf is reused so sample ticks allocate nothing.
+	sampler   *series.Sampler
+	levelsBuf []series.Levels
 }
 
 // New assembles a machine from the config.
@@ -304,6 +319,13 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if len(m.cpuNodes) > 1 {
 		m.regionHome = make(map[pagetable.VPN]mem.NodeID)
+	}
+	if cfg.SampleEveryTicks > 0 {
+		m.sampler = series.NewSampler(m.nNodes, series.Config{
+			Every:  uint64(cfg.SampleEveryTicks),
+			Budget: cfg.SampleBudget,
+		})
+		m.levelsBuf = make([]series.Levels, 0, m.nNodes)
 	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
@@ -635,6 +657,13 @@ func (m *Machine) fold() {
 	m.cur.DemotedPages = demote - m.prevDemote
 	m.prevPromote, m.prevDemote = promote, demote
 
+	// Per-node series plane: one compare on non-sample ticks; sample
+	// ticks snapshot every node's counter deltas and residency into the
+	// preallocated columns.
+	if m.sampler != nil && m.sampler.Due(m.tick) {
+		m.sampler.Observe(m.tick, m.stat, m.NodeLevels(m.levelsBuf[:0]))
+	}
+
 	if m.tick%uint64(m.cfg.RecordEveryTicks) != 0 {
 		return
 	}
@@ -712,6 +741,14 @@ func (m *Machine) finish() {
 	}
 	m.run.Failed = m.failed
 	m.run.FailReason = m.failWhy
+	if m.sampler != nil {
+		if m.tick > 0 {
+			// Close the final partial window so the series' delta columns
+			// total exactly to the final counters on any run length.
+			m.sampler.Flush(m.tick-1, m.stat, m.NodeLevels(m.levelsBuf[:0]))
+		}
+		m.run.NodeSeries = m.sampler.Series()
+	}
 	// Per-node end-of-run accounting from the stats plane — populated
 	// for failed runs too, so a crash still shows where pages sat.
 	m.run.Nodes = m.run.Nodes[:0]
@@ -749,6 +786,21 @@ func (m *Machine) Stat() *vmstat.NodeStats { return m.stat }
 // so recordings carry per-node counter deltas per tick.
 func (m *Machine) NodeVmstat(dst []vmstat.Snapshot) []vmstat.Snapshot {
 	return m.stat.AppendNodeSnapshots(dst)
+}
+
+// NodeLevels appends every node's residency levels to dst in node order
+// and returns the extended slice. The series sampler and the trace
+// recorder (trace.NodeLevelsSource) both read residency through it, so
+// live-sampled series and trace-decoded series see identical levels.
+func (m *Machine) NodeLevels(dst []series.Levels) []series.Levels {
+	for _, n := range m.topo.Nodes() {
+		dst = append(dst, series.Levels{
+			Resident: n.Resident(),
+			Anon:     n.ResidentByType(mem.Anon),
+			File:     n.ResidentByType(mem.File) + n.ResidentByType(mem.Tmpfs),
+		})
+	}
+	return dst
 }
 
 // Topology returns the machine topology.

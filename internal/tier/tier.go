@@ -288,6 +288,26 @@ func (t *Topology) PromotionTargetFrom(from mem.NodeID) mem.NodeID {
 	return t.bestOfTier(tier - 1)
 }
 
+// PromotionTargetToward is PromotionTargetFrom with socket affinity: when
+// the page's home CPU node sits in the tier immediately above and has
+// free pages, the promotion lands there — the threads that fault on the
+// page run on that socket, so anywhere else leaves it paying the
+// cross-socket penalty on every access. Otherwise (home out of reach, or
+// full) it falls back to the least-pressured node of the tier above,
+// §5.3's rule. On single-socket machines the home node is the only node
+// of the CPU tier, so the choice is identical to PromotionTargetFrom.
+func (t *Topology) PromotionTargetToward(home, from mem.NodeID) mem.NodeID {
+	tier := t.tiers[from]
+	if tier == 0 {
+		return mem.NilNode
+	}
+	if home != mem.NilNode && home != from && int(home) < len(t.tiers) &&
+		t.tiers[home] == tier-1 && t.nodes[home].Free() > 0 {
+		return home
+	}
+	return t.bestOfTier(tier - 1)
+}
+
 // bestOfTier returns the node of the given tier with the most free
 // pages, or mem.NilNode when the tier is empty.
 func (t *Topology) bestOfTier(tier int) mem.NodeID {

@@ -271,6 +271,62 @@ func TestDualSocketCascadeOrdering(t *testing.T) {
 	}
 }
 
+func TestPromotionTargetToward(t *testing.T) {
+	topo, err := PresetDualSocket().Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pressure socket 1 so the least-pressured fallback would be socket 0.
+	for i := 0; i < 30; i++ {
+		topo.Node(1).Acquire(mem.Anon)
+	}
+	if got := topo.PromotionTargetFrom(3); got != 0 {
+		t.Fatalf("fixture: PromotionTargetFrom(3) = %d, want 0 (least pressure)", got)
+	}
+	// Home-socket affinity overrides least-pressure: a page whose
+	// threads run on socket 1 promotes there.
+	if got := topo.PromotionTargetToward(1, 3); got != 1 {
+		t.Errorf("PromotionTargetToward(1, 3) = %d, want home socket 1", got)
+	}
+	// A full home falls back to the least-pressured node of the tier.
+	for topo.Node(1).Free() > 0 {
+		topo.Node(1).Acquire(mem.Anon)
+	}
+	if got := topo.PromotionTargetToward(1, 3); got != 0 {
+		t.Errorf("PromotionTargetToward(1, 3) with socket 1 full = %d, want fallback 0", got)
+	}
+	// CPU-tier pages have nowhere to go, as before.
+	if got := topo.PromotionTargetToward(0, 0); got != mem.NilNode {
+		t.Errorf("PromotionTargetToward(0, 0) = %d, want nil", got)
+	}
+
+	// Single-socket machines: identical to PromotionTargetFrom, full or
+	// not — the home node is the only node of the CPU tier.
+	single, err := PresetCXL(2, 1).Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := single.PromotionTargetToward(0, 1), single.PromotionTargetFrom(1); got != want {
+		t.Errorf("single-socket PromotionTargetToward(0,1) = %d, want %d", got, want)
+	}
+	for single.Node(0).Free() > 0 {
+		single.Node(0).Acquire(mem.Anon)
+	}
+	if got, want := single.PromotionTargetToward(0, 1), single.PromotionTargetFrom(1); got != want {
+		t.Errorf("single-socket (full) PromotionTargetToward(0,1) = %d, want %d", got, want)
+	}
+
+	// Multi-hop climbs: a far-tier page's home CPU node is two tiers up,
+	// so the one-hop rule is unchanged.
+	exp, err := PresetExpander(2, 1, 1).Build(8*1024, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := exp.PromotionTargetToward(0, 2), exp.PromotionTargetFrom(2); got != want {
+		t.Errorf("expander PromotionTargetToward(0,2) = %d, want %d", got, want)
+	}
+}
+
 func TestSpecRoundTrip(t *testing.T) {
 	topo, err := PresetExpander(2, 1, 1).Build(8*1024, 0.08)
 	if err != nil {

@@ -44,7 +44,12 @@
 //	                     varint pair count followed by (counter byte,
 //	                     delta varint) pairs — the non-zero per-node
 //	                     vmstat counter deltas the recorded machine
-//	                     accumulated during the tick
+//	                     accumulated during the tick. v4+ (when the node
+//	                     count is non-zero): one presence byte, then —
+//	                     when 1 — per node three varints (resident,
+//	                     anon, file pages) — the node's residency levels
+//	                     at the tick's end, which trace.Stats folds into
+//	                     the series plane's level columns
 //	  OpStartEnd (0x06)  closes the Start (setup) section
 //	  OpEnd      (0x07)  closes the stream (v2+; written by Close)
 //
@@ -76,6 +81,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/series"
 	"tppsim/internal/tier"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
@@ -86,8 +92,10 @@ const Magic = "TPPTRACE"
 
 // Version is the current trace-format version. Version 2 added the
 // optional topology block; version 3 added per-node vmstat counter
-// deltas to TickEnd events. Version-1 and -2 traces still load.
-const Version = 3
+// deltas to TickEnd events; version 4 added per-node residency levels
+// next to them (the series plane's level columns). Older traces still
+// load.
+const Version = 4
 
 // Header carries the workload identity a trace was captured from: enough
 // for the Replayer to satisfy the workload.Workload interface and for a
@@ -180,6 +188,12 @@ type Event struct {
 	// call — copy it to retain.
 	DeltaNodes int
 	Deltas     []NodeCounterDelta
+
+	// Levels carries each node's residency at the tick's end on v4+
+	// TickEnds (len == DeltaNodes when present, nil on older streams or
+	// when the writer had no residency source). Like Deltas, it aliases
+	// reader-owned scratch.
+	Levels []series.Levels
 }
 
 // Region returns the recorded region of an Mmap/Munmap event.
@@ -505,6 +519,23 @@ func (w *Writer) WriteEvent(e Event) {
 				// loudly instead.
 				w.err = fmt.Errorf("trace: tickend deltas not grouped by ascending node in [0,%d)", e.DeltaNodes)
 			}
+			if w.version >= 4 && e.DeltaNodes > 0 {
+				switch {
+				case len(e.Levels) == e.DeltaNodes:
+					w.writeByte(1)
+					for _, lv := range e.Levels {
+						w.uvarint(lv.Resident)
+						w.uvarint(lv.Anon)
+						w.uvarint(lv.File)
+					}
+				case len(e.Levels) == 0:
+					w.writeByte(0)
+				default:
+					if w.err == nil {
+						w.err = fmt.Errorf("trace: tickend has %d level entries for %d nodes", len(e.Levels), e.DeltaNodes)
+					}
+				}
+			}
 		}
 	case OpStartEnd, OpEnd:
 		// no operands
@@ -537,11 +568,13 @@ func (w *Writer) TickEnd() { w.WriteEvent(Event{Op: OpTickEnd}) }
 
 // TickEndDeltas closes the current tick, attaching each node's vmstat
 // counter deltas for the tick (v3+ writers; earlier versions write a
-// bare marker). Only non-zero counters are encoded, so quiet ticks on
-// small machines cost a few bytes. The snapshots are flattened into the
-// sparse event form and encoded by WriteEvent — one encoder serves both
-// freshly captured and re-encoded streams.
-func (w *Writer) TickEndDeltas(deltas []vmstat.Snapshot) {
+// bare marker) and, when levels is non-nil (one entry per node), each
+// node's residency at the tick's end (v4+ writers; v3 drops them). Only
+// non-zero counters are encoded, so quiet ticks on small machines cost
+// a few bytes. The snapshots are flattened into the sparse event form
+// and encoded by WriteEvent — one encoder serves both freshly captured
+// and re-encoded streams.
+func (w *Writer) TickEndDeltas(deltas []vmstat.Snapshot, levels []series.Levels) {
 	w.deltaScratch = w.deltaScratch[:0]
 	for n, d := range deltas {
 		for c, v := range d {
@@ -551,7 +584,7 @@ func (w *Writer) TickEndDeltas(deltas []vmstat.Snapshot) {
 			}
 		}
 	}
-	w.WriteEvent(Event{Op: OpTickEnd, DeltaNodes: len(deltas), Deltas: w.deltaScratch})
+	w.WriteEvent(Event{Op: OpTickEnd, DeltaNodes: len(deltas), Deltas: w.deltaScratch, Levels: levels})
 }
 
 // StartEnd closes the Start (setup) section.
@@ -596,9 +629,10 @@ type Reader struct {
 	br   byteStream
 	h    Header
 	prev pagetable.VPN
-	// deltaScratch backs TickEnd events' Deltas slices, reused across
-	// Next calls.
+	// deltaScratch and levelScratch back TickEnd events' Deltas and
+	// Levels slices, reused across Next calls.
 	deltaScratch []NodeCounterDelta
+	levelScratch []series.Levels
 }
 
 // NewReader parses the header and prepares to stream events. The reader
@@ -705,6 +739,32 @@ func (r *Reader) Next() (Event, error) {
 				}
 			}
 			e.Deltas = r.deltaScratch
+			if r.h.Version >= 4 && nodes > 0 {
+				present, err := r.br.ReadByte()
+				if err != nil {
+					return Event{}, fmt.Errorf("trace: tickend level marker: %w", err)
+				}
+				if present > 1 {
+					return Event{}, fmt.Errorf("trace: tickend bad level marker %d", present)
+				}
+				if present == 1 {
+					r.levelScratch = r.levelScratch[:0]
+					for n := 0; n < int(nodes); n++ {
+						var lv series.Levels
+						var lerr error
+						if lv.Resident, lerr = binary.ReadUvarint(r.br); lerr == nil {
+							if lv.Anon, lerr = binary.ReadUvarint(r.br); lerr == nil {
+								lv.File, lerr = binary.ReadUvarint(r.br)
+							}
+						}
+						if lerr != nil {
+							return Event{}, fmt.Errorf("trace: tickend node %d levels: %w", n, lerr)
+						}
+						r.levelScratch = append(r.levelScratch, lv)
+					}
+					e.Levels = r.levelScratch
+				}
+			}
 		}
 	case OpStartEnd:
 		// no operands

@@ -4,6 +4,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/series"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 )
@@ -16,6 +17,17 @@ type NodeStatsSource interface {
 	// NodeVmstat appends one snapshot per node to dst and returns the
 	// extended slice.
 	NodeVmstat(dst []vmstat.Snapshot) []vmstat.Snapshot
+}
+
+// NodeLevelsSource is implemented by machines that expose per-node
+// residency (sim.Machine does); when the recording context provides one
+// alongside NodeStatsSource, every recorded tick also carries each
+// node's residency levels at the tick's end (trace format v4) — the
+// level columns trace.Stats folds into the series plane.
+type NodeLevelsSource interface {
+	// NodeLevels appends one Levels entry per node to dst and returns
+	// the extended slice.
+	NodeLevels(dst []series.Levels) []series.Levels
 }
 
 // Recorder wraps a workload and transparently captures its full event
@@ -35,11 +47,14 @@ type Recorder struct {
 	// Per-node vmstat delta capture (v3 TickEnd payload). src is the
 	// machine's stats plane when it offers one; prev/cur/deltas are
 	// reused across ticks so recording stays allocation-free after the
-	// first tick.
+	// first tick. lvlSrc/levels mirror the arrangement for the v4
+	// residency levels.
 	src    NodeStatsSource
 	prev   []vmstat.Snapshot
 	cur    []vmstat.Snapshot
 	deltas []vmstat.Snapshot
+	lvlSrc NodeLevelsSource
+	levels []series.Levels
 }
 
 var _ workload.Workload = (*Recorder)(nil)
@@ -70,6 +85,7 @@ func (r *Recorder) WarmupTicks() uint64 { return r.inner.WarmupTicks() }
 // machine's final per-node counters exactly.
 func (r *Recorder) Start(ctx workload.Ctx) {
 	r.src, _ = ctx.(NodeStatsSource)
+	r.lvlSrc, _ = ctx.(NodeLevelsSource)
 	r.prev = r.prev[:0]
 	r.inner.Start(recCtx{ctx, r})
 	r.w.StartEnd()
@@ -86,7 +102,8 @@ func (r *Recorder) Tick(ctx workload.Ctx, tick uint64) {
 }
 
 // writeTickEnd closes the previous tick, attaching per-node vmstat
-// deltas when the machine exposes its stats plane.
+// deltas (and residency levels, when available) when the machine
+// exposes its stats plane.
 func (r *Recorder) writeTickEnd() {
 	if r.src == nil {
 		r.w.TickEnd()
@@ -101,7 +118,11 @@ func (r *Recorder) writeTickEnd() {
 		}
 		r.deltas = append(r.deltas, sn.Delta(prev))
 	}
-	r.w.TickEndDeltas(r.deltas)
+	r.levels = r.levels[:0]
+	if r.lvlSrc != nil {
+		r.levels = r.lvlSrc.NodeLevels(r.levels)
+	}
+	r.w.TickEndDeltas(r.deltas, r.levels)
 	r.prev = append(r.prev[:0], r.cur...)
 }
 

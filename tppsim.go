@@ -74,6 +74,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/report"
+	"tppsim/internal/series"
 	"tppsim/internal/sim"
 	"tppsim/internal/tier"
 	"tppsim/internal/trace"
@@ -151,6 +152,41 @@ type VmstatSnapshot = vmstat.Snapshot
 // NodeTable renders a run's per-node residency and headline counters as
 // an aligned text table.
 var NodeTable = report.NodeTable
+
+// NodeSeries is the per-tick per-node time-series plane
+// (RunResult.NodeSeries): columnar per-node vmstat deltas and residency
+// levels per sample window, self-coarsening to a fixed budget. Enable
+// it with MachineConfig.SampleEveryTicks; reconstruct it from a
+// recorded trace with TraceStats.
+type NodeSeries = series.Series
+
+// SeriesLevels is one node's residency snapshot at a series sample
+// boundary (total/anon/file resident pages).
+type SeriesLevels = series.Levels
+
+// TraceStatsOptions tune TraceStats' series reconstruction (cadence and
+// sample budget; match the recording run's to reproduce its live series
+// bit-for-bit).
+type TraceStatsOptions = trace.StatsOptions
+
+// TraceStats folds a recorded trace's per-node TickEnd payload into a
+// NodeSeries without building or running a machine — the pure
+// trace-analysis path (cmd/tppsim -trace-stats).
+func TraceStats(path string, o TraceStatsOptions) (*NodeSeries, error) {
+	tr, err := OpenTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Stats(o)
+}
+
+// Series renderers (see internal/report): an aligned per-window flow
+// table, terminal sparklines, and the full columnar CSV.
+var (
+	FlowTable        = report.FlowTable
+	SeriesPanel      = report.SeriesPanel
+	SeriesColumnsCSV = report.SeriesColumnsCSV
+)
 
 // Policy is a placement-policy configuration.
 type Policy = core.Policy
