@@ -25,6 +25,18 @@ func SimTickBenchSampledConfig() MachineConfig {
 	return cfg
 }
 
+// SimTickBenchProbedConfig is SimTickBenchConfig with the probe
+// plane's latency histograms and phase profiler both on — every access
+// observed into a histogram and every tick lapped nine times. cmd/bench
+// -check pins its ns/op within 10% of the probe-off run with zero alloc
+// growth, the distribution plane's analogue of the sampling gate.
+func SimTickBenchProbedConfig() MachineConfig {
+	cfg := SimTickBenchConfig()
+	cfg.ProbeLatency = true
+	cfg.ProbePhases = true
+	return cfg
+}
+
 // SimTickBenchWarmTicks is how many ticks the benchmark machine steps
 // before measurement, moving it past the workload's fill phase.
 const SimTickBenchWarmTicks = 600

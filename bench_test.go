@@ -69,6 +69,13 @@ func BenchmarkSimTickSampled(b *testing.B) {
 	benchSimTick(b, SimTickBenchSampledConfig())
 }
 
+// BenchmarkSimTickProbed is the same machine with the probe plane's
+// histograms and phase profiler on; cmd/bench -check holds it within
+// 10% of BenchmarkSimTick with zero alloc growth.
+func BenchmarkSimTickProbed(b *testing.B) {
+	benchSimTick(b, SimTickBenchProbedConfig())
+}
+
 func benchSimTick(b *testing.B, cfg MachineConfig) {
 	m, err := NewMachine(cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 // Command bench runs the simulator's core-loop benchmarks (the same
-// machines and warm-up as BenchmarkSimTick / BenchmarkSimTickSampled in
-// bench_test.go) and writes the results to BENCH_simtick.json, the
+// machines and warm-up as BenchmarkSimTick / BenchmarkSimTickSampled /
+// BenchmarkSimTickProbed in bench_test.go) and writes the results to
+// BENCH_simtick.json, the
 // repo's performance-trajectory artifact. Run it from the repo root
 // after perf-relevant changes:
 //
@@ -14,7 +15,10 @@
 //     against the committed baseline, or its allocs/op grew;
 //   - sampling-on ns/op exceeds the sampling-off run by more than
 //     -sampled-tolerance (default 10%) — a relative gate measured in
-//     the same process, so it is hardware-independent.
+//     the same process, so it is hardware-independent;
+//   - probes-on (latency histograms + phase profiler) ns/op exceeds the
+//     probe-off run by more than -probed-tolerance (default 10%), or
+//     its allocs/op grew at all.
 //
 // Checking does not overwrite the baseline; refresh it with a plain run
 // when a slowdown is intentional and explained.
@@ -32,6 +36,7 @@ import (
 	"testing"
 
 	"tppsim"
+	"tppsim/internal/prof"
 )
 
 func main() {
@@ -40,7 +45,21 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_simtick.json", "baseline JSON path for -check")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op regression fraction for -check")
 	sampledTol := flag.Float64("sampled-tolerance", 0.10, "allowed sampling-on overhead fraction vs sampling-off for -check")
+	probedTol := flag.Float64("probed-tolerance", 0.10, "allowed probes-on overhead fraction vs probes-off for -check")
+	cpuProf := flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
+	memProf := flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+	}()
 
 	bench := func(cfg tppsim.MachineConfig) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
@@ -66,6 +85,8 @@ func main() {
 	nsPerOp := nsOf(res)
 	resSampled := bench(tppsim.SimTickBenchSampledConfig())
 	nsSampled := nsOf(resSampled)
+	resProbed := bench(tppsim.SimTickBenchProbedConfig())
+	nsProbed := nsOf(resProbed)
 
 	if *check {
 		raw, err := os.ReadFile(*baseline)
@@ -93,10 +114,13 @@ func main() {
 		}
 		ratio := nsPerOp / base.NsPerOp
 		sampledRatio := nsSampled / nsPerOp
+		probedRatio := nsProbed / nsPerOp
 		fmt.Printf("SimTick: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%); %d allocs/op vs %d\n",
 			nsPerOp, base.NsPerOp, 100*(ratio-1), 100**tolerance, res.AllocsPerOp(), base.AllocsPerOp)
 		fmt.Printf("SimTickSampled: %.0f ns/op (%+.1f%% vs sampling off, tolerance %.0f%%); %d allocs/op\n",
 			nsSampled, 100*(sampledRatio-1), 100**sampledTol, resSampled.AllocsPerOp())
+		fmt.Printf("SimTickProbed: %.0f ns/op (%+.1f%% vs probes off, tolerance %.0f%%); %d allocs/op\n",
+			nsProbed, 100*(probedRatio-1), 100**probedTol, resProbed.AllocsPerOp())
 		failed := false
 		if ratio > 1+*tolerance {
 			// Persistently over tolerance: either a real regression or a
@@ -132,6 +156,25 @@ func main() {
 				res.AllocsPerOp(), resSampled.AllocsPerOp())
 			failed = true
 		}
+		if probedRatio > 1+*probedTol {
+			// Re-measure the pair once before failing, same noise logic.
+			off, on := bench(tppsim.SimTickBenchConfig()), bench(tppsim.SimTickBenchProbedConfig())
+			if r := nsOf(on) / nsOf(off); r < probedRatio {
+				probedRatio = r
+			}
+		}
+		if probedRatio > 1+*probedTol {
+			fmt.Fprintf(os.Stderr, "bench: probes cost %+.1f%% ns/op over probes-off (limit %.0f%%)\n",
+				100*(probedRatio-1), 100**probedTol)
+			failed = true
+		}
+		// Histograms are fixed arrays and the profiler laps into them:
+		// probing must not add steady-state allocations.
+		if resProbed.AllocsPerOp() > res.AllocsPerOp() {
+			fmt.Fprintf(os.Stderr, "bench: probing grew allocs/op %d -> %d\n",
+				res.AllocsPerOp(), resProbed.AllocsPerOp())
+			failed = true
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -146,6 +189,8 @@ func main() {
 		"allocs_per_op":         res.AllocsPerOp(),
 		"sampled_ns_per_op":     nsSampled,
 		"sampled_allocs_per_op": resSampled.AllocsPerOp(),
+		"probed_ns_per_op":      nsProbed,
+		"probed_allocs_per_op":  resProbed.AllocsPerOp(),
 		"goos":                  runtime.GOOS,
 		"goarch":                runtime.GOARCH,
 		"go_version":            runtime.Version(),
@@ -160,6 +205,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op -> %s\n",
-		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N, nsSampled, resSampled.AllocsPerOp(), *out)
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op -> %s\n",
+		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N,
+		nsSampled, resSampled.AllocsPerOp(), nsProbed, resProbed.AllocsPerOp(), *out)
 }

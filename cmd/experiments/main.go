@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"tppsim/internal/experiments"
+	"tppsim/internal/prof"
 )
 
 func main() {
@@ -27,8 +28,21 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "random seed (default 1)")
 		csv     = flag.Bool("csv", false, "print figure series as CSV")
 		workers = flag.Int("workers", 0, "worker-pool size (default: all CPUs)")
+		cpuProf = flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
+		memProf = flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *list || *runID == "" {
 		fmt.Println("experiments:")

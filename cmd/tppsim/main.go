@@ -30,6 +30,16 @@
 //	tppsim -workload Cache2 -policy tpp -series
 //	tppsim -workload Cache2 -policy tpp -record c2.trace -sample-every 1
 //	tppsim -trace-stats c2.trace -csv c2-series.csv
+//	tppsim -trace-stats default.trace -diff tpp.trace
+//
+// Distributions: -latency turns on the probe plane's histograms and
+// prints per-node access-latency percentiles plus the migration,
+// allocstall, and reclaim-batch distributions; -phase-profile attributes
+// host wall-clock per tick phase. -cpuprofile/-memprofile write real Go
+// pprof profiles for cross-checking:
+//
+//	tppsim -workload Web1 -policy tpp -latency
+//	tppsim -workload Web1 -policy all -phase-profile -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 
 	"tppsim/internal/core"
 	"tppsim/internal/mem"
+	"tppsim/internal/prof"
 	"tppsim/internal/report"
 	"tppsim/internal/series"
 	"tppsim/internal/sim"
@@ -64,6 +75,11 @@ func main() {
 		sampleEv = flag.Int("sample-every", 0, "series sampling cadence in ticks (implies sampling; default 1 when -series/-csv set)")
 		csvOut   = flag.String("csv", "", "write the sampled node series as CSV to FILE (\"-\" for stdout)")
 		trStats  = flag.String("trace-stats", "", "decode FILE's per-node tick payload into the series plane and render it (no machine is run)")
+		diffWith = flag.String("diff", "", "with -trace-stats: decode FILE too and render a comparative per-node flow table (A=-trace-stats, B=-diff)")
+		latency  = flag.Bool("latency", false, "record the probe plane's latency histograms and print the percentile table + access CDF panel")
+		phaseFl  = flag.Bool("phase-profile", false, "profile host wall-clock per tick phase and print the attribution table")
+		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
+		memProf  = flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 		list     = flag.Bool("list", false, "list catalog workloads and exit")
 		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
 		replayF  = flag.String("replay", "", "replay a trace FILE instead of running a catalog workload")
@@ -76,12 +92,30 @@ func main() {
 		*sampleEv = 1
 	}
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Finalized on the normal return paths; error paths os.Exit and
+	// drop the partial profile.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	if *diffWith != "" && *trStats == "" {
+		fmt.Fprintln(os.Stderr, "-diff only applies with -trace-stats")
+		os.Exit(2)
+	}
+
 	if *trStats != "" {
 		if *replayF != "" || *recordTo != "" {
 			fmt.Fprintln(os.Stderr, "-trace-stats is a pure decode; it excludes -replay and -record")
 			os.Exit(2)
 		}
-		if err := runTraceStats(*trStats, *sampleEv, *seriesFl, *csvOut); err != nil {
+		if err := runTraceStats(*trStats, *diffWith, *sampleEv, *seriesFl, *csvOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -183,6 +217,8 @@ func main() {
 			Minutes:          *minutes,
 			RecordTo:         *recordTo,
 			SampleEveryTicks: *sampleEv,
+			ProbeLatency:     *latency,
+			ProbePhases:      *phaseFl,
 		}
 		if len(topo.Nodes) > 0 {
 			cfg.Topology = topo
@@ -217,6 +253,15 @@ func main() {
 					fmt.Print(indent(indent(st.NodeSnapshot(mem.NodeID(n)).String())))
 				}
 			}
+		}
+		if res.LatencyHist != nil {
+			labels := report.NodeLabels(res.Nodes, len(res.LatencyHist.Access))
+			fmt.Print(report.PercentileTable(res.LatencyHist, labels).String())
+			total := res.LatencyHist.TotalAccess()
+			fmt.Print(report.HistogramPanel(&total, "access latency (all nodes)", nil))
+		}
+		if res.PhaseProfile != nil {
+			fmt.Print(report.PhaseTable(res.PhaseProfile).String())
 		}
 		if res.NodeSeries != nil {
 			labels := report.NodeLabels(res.Nodes, res.NodeSeries.Nodes())
@@ -256,8 +301,10 @@ func writeCSV(path string, s *series.Series, labels []string) error {
 
 // runTraceStats decodes a recorded trace's per-node tick payload into
 // the series plane and renders it — the trace-analysis path: no
-// machine, no policy, one pass over the encoded stream.
-func runTraceStats(path string, sampleEvery int, printPanel bool, csvPath string) error {
+// machine, no policy, one pass over the encoded stream. With diffPath
+// set, a second trace is decoded the same way and the two runs render
+// as one comparative flow table instead.
+func runTraceStats(path, diffPath string, sampleEvery int, printPanel bool, csvPath string) error {
 	tr, err := trace.Load(path)
 	if err != nil {
 		return err
@@ -278,6 +325,25 @@ func runTraceStats(path string, sampleEvery int, printPanel bool, csvPath string
 		for i, n := range h.Topology.Nodes {
 			labels[i] = fmt.Sprintf("n%d %s", i, n.Kind)
 		}
+	}
+	if diffPath != "" {
+		trB, err := trace.Load(diffPath)
+		if err != nil {
+			return err
+		}
+		sB, err := trB.Stats(trace.StatsOptions{SampleEvery: uint64(sampleEvery)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: workload=%s format v%d, %d nodes, %d windows x %d ticks (levels: %v)\n",
+			diffPath, trB.Header.Name, trB.Header.Version, sB.Nodes(), sB.Len(), sB.Cadence(), sB.HasLevels())
+		t, err := report.FlowDiffTable(s, sB, labels)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("A = %s, B = %s\n", path, diffPath)
+		fmt.Print(t.String())
+		return nil
 	}
 	fmt.Print(report.FlowTable(s.Rebin(20), labels).String())
 	if printPanel {

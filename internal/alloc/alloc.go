@@ -17,6 +17,7 @@ import (
 
 	"tppsim/internal/lru"
 	"tppsim/internal/mem"
+	"tppsim/internal/probe"
 	"tppsim/internal/tier"
 	"tppsim/internal/vmstat"
 )
@@ -59,6 +60,10 @@ type Allocator struct {
 	// the node, returning pages freed and the caller's stall time. Wired
 	// to the reclaim package.
 	DirectReclaim func(node mem.NodeID, want uint64) (freed uint64, costNs float64)
+
+	// probes is the machine's probe plane (nil = no probing): allocation
+	// stalls observe their duration and fire the allocstall tracepoint.
+	probes *probe.Probes
 }
 
 // New returns an allocator over the machine.
@@ -68,6 +73,9 @@ func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, sta
 
 // Config returns the active policy configuration.
 func (a *Allocator) Config() Config { return a.cfg }
+
+// SetProbes attaches the machine's probe plane (nil detaches).
+func (a *Allocator) SetProbes(p *probe.Probes) { a.probes = p }
 
 // NodeOrder returns the node fallback order for a page of type t with the
 // given preferred node, honouring the page-type-aware policy.
@@ -142,6 +150,14 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 	if a.DirectReclaim != nil {
 		a.stat.Inc(preferred, vmstat.PgallocStall)
 		_, stall = a.DirectReclaim(preferred, 1)
+		if p := a.probes; p != nil {
+			if p.Lat != nil {
+				p.Lat.AllocStall.ObserveFloat(stall)
+			}
+			if p.OnAllocStall.Active() {
+				p.OnAllocStall.Fire(probe.AllocStallEvent{Node: int(preferred), StallNs: stall})
+			}
+		}
 	}
 	for _, id := range order {
 		if a.topo.Node(id).Acquire(t) {

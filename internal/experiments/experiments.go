@@ -94,6 +94,7 @@ func Registry() []Spec {
 		{"MT1", "Throughput vs memory-tier depth (multi-hop expander)", MT1},
 		{"MT2", "Per-node flows across share mixes and distance matrices", MT2},
 		{"MT3", "Dual-socket residency/flows over time (series plane)", MT3},
+		{"MT4", "Access-latency CDFs per policy across topologies (probe plane)", MT4},
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"tppsim/internal/probe"
 	"tppsim/internal/series"
 	"tppsim/internal/vmstat"
 )
@@ -204,6 +205,17 @@ type Run struct {
 	// trace.Stats reconstructs the identical series from a recorded
 	// trace without re-running the machine.
 	NodeSeries *series.Series
+
+	// LatencyHist is the distribution plane's histogram set — per-node
+	// access latency, migration costs by direction, allocstall durations,
+	// reclaim scan batches — recorded when Config.ProbeLatency is set
+	// (nil otherwise).
+	LatencyHist *probe.LatencySet
+	// PhaseProfile is the tick-phase wall-clock profile, recorded when
+	// Config.ProbePhases is set (nil otherwise). Its durations are host
+	// wall-clock and therefore nondeterministic; everything else in the
+	// Run stays bit-identical.
+	PhaseProfile *probe.PhaseProfiler
 }
 
 // NodeResult is one memory node's end-of-run accounting: identity,

@@ -18,6 +18,7 @@ import (
 
 	"tppsim/internal/lru"
 	"tppsim/internal/mem"
+	"tppsim/internal/probe"
 	"tppsim/internal/tier"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/xrand"
@@ -75,6 +76,11 @@ type Engine struct {
 	stat  *vmstat.NodeStats
 	rng   *xrand.RNG
 
+	// probes is the machine's probe plane (nil = no probing): successful
+	// migrations observe their cost into the direction's histogram and
+	// fire the demote/promote tracepoints.
+	probes *probe.Probes
+
 	movedPages  uint64 // total pages successfully moved
 	windowPages uint64 // pages moved since last TakeWindow
 
@@ -99,6 +105,9 @@ func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Ve
 		promotedFrom: make([]uint64, topo.NumNodes()),
 	}
 }
+
+// SetProbes attaches the machine's probe plane (nil detaches).
+func (e *Engine) SetProbes(p *probe.Probes) { e.probes = p }
 
 // DemotedInto returns how many pages have been demoted onto the node.
 func (e *Engine) DemotedInto(id mem.NodeID) uint64 { return e.demotedInto[id] }
@@ -204,6 +213,26 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 	e.stat.Inc(dest, vmstat.PgmigrateSuccess)
 	e.movedPages++
 	e.windowPages++
+	if p := e.probes; p != nil {
+		promo := reason == Promotion
+		if p.Lat != nil {
+			if promo {
+				p.Lat.Promote.ObserveFloat(e.cfg.PerPageNs)
+			} else {
+				p.Lat.Demote.ObserveFloat(e.cfg.PerPageNs)
+			}
+		}
+		hook := &p.OnDemote
+		if promo {
+			hook = &p.OnPromote
+		}
+		if hook.Active() {
+			hook.Fire(probe.MigrateEvent{
+				PFN: uint64(pfn), Src: int(src), Dst: int(dest),
+				Promotion: promo, CostNs: e.cfg.PerPageNs,
+			})
+		}
+	}
 	return e.cfg.PerPageNs, nil
 }
 

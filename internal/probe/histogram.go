@@ -1,0 +1,178 @@
+package probe
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of a Histogram. Bucket 0 counts
+// zero-valued observations; bucket i (1 ≤ i < 63) counts values in
+// [2^(i-1), 2^i − 1]; bucket 63 absorbs everything ≥ 2^62.
+const NumBuckets = 64
+
+// Histogram is a log₂-bucketed counting histogram. It is a plain value
+// — a fixed array plus a sum — so the zero value is ready to use, it
+// embeds in hot structs without indirection, and recording never
+// allocates. Counts and the running sum are exact; quantiles resolve to
+// the upper bound of the bucket holding the requested rank, i.e. within
+// one power of two of the exact order statistic.
+//
+// Histogram is not safe for concurrent mutation; the simulator is
+// single-threaded per machine, and cross-machine aggregation goes
+// through Merge on quiesced copies.
+type Histogram struct {
+	sum    uint64
+	counts [NumBuckets]uint64
+}
+
+// bucketOf maps a value to its bucket index: bits.Len64 puts 0 in
+// bucket 0 and [2^(i-1), 2^i−1] in bucket i, clamped into the top
+// bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value. This is the hot-path entry: two adds and a
+// bits.Len64, no branches beyond the clamp, no allocation.
+func (h *Histogram) Observe(v uint64) {
+	h.sum += v
+	h.counts[bucketOf(v)]++
+}
+
+// ObserveFloat records a float64 measurement (negative values clamp to
+// zero). Convenience for the engines' float64 nanosecond costs.
+func (h *Histogram) ObserveFloat(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(uint64(v))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Sum returns the exact sum of all recorded values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the exact mean of the recorded values (0 if empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(n)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// BucketBound returns the inclusive upper bound of bucket i: 0 for
+// bucket 0, 2^i − 1 otherwise. The top bucket's bound is the max
+// uint64, standing in for "everything beyond resolution".
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Merge adds o's observations into h. Merging then querying is
+// equivalent to having observed both streams into one histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	h.sum += o.sum
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Quantile returns the value at quantile q (0 < q ≤ 1) using the
+// nearest-rank rule: the upper bound of the bucket containing the
+// ⌈q·n⌉-th smallest observation. Returns 0 on an empty histogram.
+// Because ranks are exact and only the in-bucket position is lost, the
+// result is the bucket bound of the true order statistic — within one
+// power of two of exact.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++ // ceil
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Min returns the lower bound of the lowest occupied bucket (the
+// smallest observation rounded down to its bucket floor); 0 if empty.
+func (h *Histogram) Min() uint64 {
+	for i, c := range h.counts {
+		if c != 0 {
+			if i <= 1 {
+				return uint64(i) // bucket 0 holds 0, bucket 1 holds exactly 1
+			}
+			return 1 << uint(i-1)
+		}
+	}
+	return 0
+}
+
+// Max returns the upper bound of the highest occupied bucket; 0 if
+// empty.
+func (h *Histogram) Max() uint64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if h.counts[i] != 0 {
+			return BucketBound(i)
+		}
+	}
+	return 0
+}
+
+// Summary is the standard percentile digest of a histogram.
+type Summary struct {
+	Count               uint64
+	Mean                float64
+	P50, P90, P99, P999 uint64
+}
+
+// Percentiles extracts the p50/p90/p99/p99.9 digest in one pass per
+// quantile.
+func (h *Histogram) Percentiles() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}

@@ -1,0 +1,33 @@
+package probe
+
+// Hook is a typed tracepoint in the kernel style: a subsystem owns a
+// Hook value at an interesting site and fires typed events through it;
+// observers attach functions without the subsystem knowing who (or
+// whether anyone) is listening. The zero value is a disabled hook whose
+// only cost at the fire site is a length check — guard event
+// construction with Active() to keep disabled sites free:
+//
+//	if p.OnDemote.Active() {
+//		p.OnDemote.Fire(MigrateEvent{...})
+//	}
+//
+// Hooks are not safe for concurrent Attach/Fire; wiring happens at
+// machine construction, firing on the machine's own goroutine.
+type Hook[T any] struct {
+	fns []func(T)
+}
+
+// Attach subscribes fn to the hook. Subscribers run in attach order.
+func (h *Hook[T]) Attach(fn func(T)) {
+	h.fns = append(h.fns, fn)
+}
+
+// Active reports whether any subscriber is attached.
+func (h *Hook[T]) Active() bool { return len(h.fns) > 0 }
+
+// Fire delivers ev to every subscriber, in attach order.
+func (h *Hook[T]) Fire(ev T) {
+	for _, fn := range h.fns {
+		fn(ev)
+	}
+}

@@ -1,0 +1,139 @@
+// Package probe is the simulator's distribution-level observability
+// plane — the third plane next to the counters (internal/vmstat) and the
+// time series (internal/series). Where a counter answers "how many" and
+// a series answers "when", a probe answers "how are the values
+// distributed": access-latency demographics across the tiers, migration
+// stall distributions, tick-phase wall-clock attribution, and typed
+// tracepoints future subsystems can subscribe to without touching the
+// engines.
+//
+// Three primitives:
+//
+//   - Histogram: a zero-allocation log₂-bucketed counting histogram (a
+//     fixed 64-bucket array). Observing is a handful of integer ops with
+//     no branches on the bucket path, counts and sums are exact, two
+//     histograms merge by addition, and quantiles resolve to bucket
+//     bounds (one power-of-two of resolution). The zero value is ready
+//     to use, so histograms embed by value in hot structs.
+//   - PhaseProfiler: attributes wall-clock time within each simulator
+//     tick to a fixed set of phases (workload housekeeping, access draw,
+//     translate, charge, reclaim, NUMA balancing, controllers, metrics
+//     fold), each phase a Histogram of per-tick durations. It explains
+//     where the tick budget goes. Wall-clock is observational only: the
+//     profiler never feeds back into the simulation, so enabling it
+//     cannot change a run's results (it does make the profile itself
+//     nondeterministic, like any real profiler).
+//   - Hook[T]: a typed tracepoint, kernel-style. Subsystems own hook
+//     values at interesting sites (demote, promote, allocation stall,
+//     reclaim wakeup) and fire typed events; subscribers attach
+//     functions. An un-attached hook costs one nil/length check at the
+//     site — the fast path of a disabled kernel tracepoint.
+//
+// The package deliberately imports nothing from the rest of the
+// simulator (node IDs are plain ints in event payloads), so any layer —
+// engines, policies, future trackers and tenants — can depend on it
+// without cycles.
+//
+// Everything is off by default. A machine only carries a probe plane
+// when sim.Config.ProbeLatency/ProbePhases is set or a caller attaches
+// a hook via Machine.EnableProbes; with the plane absent, the hot paths
+// pay a single cached nil check and runs are bit- and alloc-identical
+// to probe-free builds (pinned by test and by the cmd/bench gate).
+package probe
+
+// Probes is one machine's probe plane: the latency/size histograms, the
+// tick-phase profiler, and the tracepoint hooks. Engines receive the
+// whole plane and fire/observe what concerns them; nil sub-plane
+// pointers mean that aspect is disabled while hooks remain usable.
+type Probes struct {
+	// Lat carries the latency/size histograms (nil = histograms off).
+	Lat *LatencySet
+	// Prof is the tick-phase wall-clock profiler (nil = profiler off).
+	Prof *PhaseProfiler
+
+	// Tracepoints. Fire sites guard with Active() so an un-attached
+	// hook costs one length check.
+	OnDemote      Hook[MigrateEvent]     // after each successful demotion
+	OnPromote     Hook[MigrateEvent]     // after each successful promotion
+	OnAllocStall  Hook[AllocStallEvent]  // after an allocation paid direct reclaim
+	OnReclaimWake Hook[ReclaimWakeEvent] // when a reclaim pass starts on a node
+}
+
+// New builds a probe plane for a machine with the given node count.
+// latency enables the histogram set, phases the tick profiler; hooks
+// are always present (attaching is what arms them).
+func New(nodes int, latency, phases bool) *Probes {
+	p := &Probes{}
+	if latency {
+		p.Lat = NewLatencySet(nodes)
+	}
+	if phases {
+		p.Prof = &PhaseProfiler{}
+	}
+	return p
+}
+
+// LatencySet is the machine's histogram collection, recorded from the
+// hot paths. All latency histograms are in nanoseconds; ReclaimBatch is
+// in pages.
+type LatencySet struct {
+	// Access holds one histogram per memory node, indexed by the node
+	// the access was served from: the pure load latency each sampled CPU
+	// access observed (tier.AccessLatency from the accessing region's
+	// home socket — fault and hint costs are excluded, they have their
+	// own histograms). The per-node split is the paper's Fig. 6-style
+	// latency demographic: summing the CXL nodes' counts against the
+	// total is the "CXL tax".
+	Access []Histogram
+	// Promote and Demote record per-page migration costs by direction.
+	Promote Histogram
+	Demote  Histogram
+	// AllocStall records direct-reclaim stall durations charged to
+	// faulting threads (the tail the paper's decoupled watermarks are
+	// designed to avoid).
+	AllocStall Histogram
+	// ReclaimBatch records the size of each inactive-tail scan batch the
+	// reclaim daemon captured, in pages — the shape of reclaim work.
+	ReclaimBatch Histogram
+}
+
+// NewLatencySet returns a latency set for a machine of nodes nodes.
+func NewLatencySet(nodes int) *LatencySet {
+	return &LatencySet{Access: make([]Histogram, nodes)}
+}
+
+// TotalAccess returns the machine-wide access-latency histogram: the
+// merge of every node's access histogram.
+func (ls *LatencySet) TotalAccess() Histogram {
+	var h Histogram
+	for i := range ls.Access {
+		h.Merge(&ls.Access[i])
+	}
+	return h
+}
+
+// MigrateEvent is the payload of the demote/promote tracepoints.
+type MigrateEvent struct {
+	PFN       uint64
+	Src, Dst  int  // node IDs
+	Promotion bool // false: demotion
+	CostNs    float64
+}
+
+// AllocStallEvent is the payload of the allocation-stall tracepoint:
+// an allocation fell through to direct reclaim and stalled its thread.
+type AllocStallEvent struct {
+	Node    int // the preferred node that was reclaimed
+	StallNs float64
+}
+
+// ReclaimWakeEvent is the payload of the reclaim-wakeup tracepoint: a
+// reclaim pass is starting on a node.
+type ReclaimWakeEvent struct {
+	Node       int
+	FreePages  uint64
+	TargetFree uint64
+	// Direct is true for synchronous direct reclaim, false for the
+	// background kswapd pass.
+	Direct bool
+}

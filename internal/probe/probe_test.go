@@ -1,0 +1,230 @@
+package probe
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// oracleQuantile is the brute-force nearest-rank order statistic over
+// the raw observations.
+func oracleQuantile(sorted []uint64, q float64) uint64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileMatchesOracle drives randomized value streams through the
+// histogram and checks every quantile against a sorted-slice oracle:
+// the histogram's answer must be exactly the upper bound of the bucket
+// containing the oracle's value — i.e. correct within one bucket of
+// resolution, and exact in rank.
+func TestQuantileMatchesOracle(t *testing.T) {
+	quantiles := []float64{0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		var h Histogram
+		vals := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			var v uint64
+			switch rng.Intn(4) {
+			case 0:
+				v = uint64(rng.Intn(4)) // exercise buckets 0–2
+			case 1:
+				v = uint64(rng.Intn(1 << 12))
+			case 2:
+				v = rng.Uint64() >> uint(rng.Intn(64))
+			default:
+				v = rng.Uint64()
+			}
+			vals = append(vals, v)
+			h.Observe(v)
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		if h.Count() != uint64(n) {
+			t.Fatalf("seed %d: Count = %d, want %d", seed, h.Count(), n)
+		}
+		var sum uint64
+		for _, v := range vals {
+			sum += v
+		}
+		if h.Sum() != sum {
+			t.Fatalf("seed %d: Sum = %d, want %d", seed, h.Sum(), sum)
+		}
+		for _, q := range quantiles {
+			want := BucketBound(bucketOf(oracleQuantile(sorted, q)))
+			if got := h.Quantile(q); got != want {
+				t.Fatalf("seed %d n=%d: Quantile(%g) = %d, want bucket bound %d of oracle value %d",
+					seed, n, q, got, want, oracleQuantile(sorted, q))
+			}
+		}
+		if want := BucketBound(bucketOf(sorted[len(sorted)-1])); h.Max() != want {
+			t.Fatalf("seed %d: Max = %d, want %d", seed, h.Max(), want)
+		}
+	}
+}
+
+// TestMergeEquivalence: observing two streams into one histogram and
+// merging two histograms must be indistinguishable.
+func TestMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b, whole Histogram
+	for i := 0; i < 3000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+	}
+	merged := a
+	merged.Merge(&b)
+	if merged != whole {
+		t.Fatalf("merged histogram differs from whole-stream histogram")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, 63}, {^uint64(0), 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every value must be ≤ its bucket's upper bound and (for buckets
+	// > 0) > the previous bucket's bound.
+	for _, c := range cases {
+		ub := BucketBound(c.bucket)
+		if c.v > ub {
+			t.Errorf("value %d exceeds bucket %d bound %d", c.v, c.bucket, ub)
+		}
+		if c.bucket > 0 && c.v <= BucketBound(c.bucket-1) {
+			t.Errorf("value %d not above bucket %d bound", c.v, c.bucket-1)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram must report zeros")
+	}
+	h.ObserveFloat(-5) // clamps to 0
+	h.ObserveFloat(100)
+	if h.Count() != 2 || h.Sum() != 100 {
+		t.Fatalf("ObserveFloat: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", h.Min())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left data behind")
+	}
+	h.Observe(1)
+	if h.Min() != 1 {
+		t.Fatalf("Min = %d, want 1", h.Min())
+	}
+	s := h.Percentiles()
+	if s.Count != 1 || s.P50 != 1 || s.P999 != 1 {
+		t.Fatalf("Percentiles = %+v", s)
+	}
+}
+
+// TestObserveDoesNotAllocate pins the zero-allocation contract of the
+// hot-path recorder.
+func TestObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestHook(t *testing.T) {
+	var h Hook[int]
+	if h.Active() {
+		t.Fatalf("zero hook must be inactive")
+	}
+	h.Fire(1) // no-op, must not panic
+	var got []int
+	h.Attach(func(v int) { got = append(got, v) })
+	h.Attach(func(v int) { got = append(got, v*10) })
+	if !h.Active() {
+		t.Fatalf("attached hook must be active")
+	}
+	h.Fire(7)
+	if len(got) != 2 || got[0] != 7 || got[1] != 70 {
+		t.Fatalf("Fire delivered %v", got)
+	}
+}
+
+func TestPhaseProfiler(t *testing.T) {
+	var nilP *PhaseProfiler
+	nilP.Begin()
+	nilP.Lap(PhaseCharge) // nil-safe no-ops
+	if nilP.Hist(PhaseCharge) != nil || nilP.TotalNs() != 0 || nilP.Ticks() != 0 {
+		t.Fatalf("nil profiler must report nothing")
+	}
+
+	p := &PhaseProfiler{}
+	for i := 0; i < 3; i++ {
+		p.Begin()
+		time.Sleep(time.Microsecond)
+		p.Lap(PhaseCharge)
+		p.Lap(PhaseFold)
+	}
+	if p.Ticks() != 3 {
+		t.Fatalf("Ticks = %d, want 3", p.Ticks())
+	}
+	if p.Hist(PhaseCharge).Count() != 3 || p.Hist(PhaseCharge).Sum() == 0 {
+		t.Fatalf("charge phase not recorded")
+	}
+	if p.TotalNs() < p.Hist(PhaseCharge).Sum() {
+		t.Fatalf("TotalNs below single-phase sum")
+	}
+	if PhaseCharge.String() != "charge" || Phase(99).String() != "unknown" {
+		t.Fatalf("phase names wrong")
+	}
+}
+
+func TestLatencySet(t *testing.T) {
+	ls := NewLatencySet(3)
+	ls.Access[0].Observe(80)
+	ls.Access[2].Observe(300)
+	ls.Access[2].Observe(310)
+	total := ls.TotalAccess()
+	if total.Count() != 3 || total.Sum() != 690 {
+		t.Fatalf("TotalAccess count=%d sum=%d", total.Count(), total.Sum())
+	}
+	p := New(2, true, true)
+	if p.Lat == nil || len(p.Lat.Access) != 2 || p.Prof == nil {
+		t.Fatalf("New(2, true, true) missing planes")
+	}
+	p = New(2, false, false)
+	if p.Lat != nil || p.Prof != nil {
+		t.Fatalf("New(2, false, false) must carry no sub-planes")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/migrate"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/probe"
 	"tppsim/internal/swap"
 	"tppsim/internal/tier"
 	"tppsim/internal/vmstat"
@@ -100,6 +101,10 @@ type Daemon struct {
 	// scanPFNs is the reusable tail-batch capture buffer for the shrink
 	// and swap-out scans (grown on demand, never shrunk).
 	scanPFNs []mem.PFN
+	// probes is the machine's probe plane (nil = no probing): reclaim
+	// passes fire the wakeup tracepoint and scan batches observe their
+	// size into the ReclaimBatch histogram.
+	probes *probe.Probes
 }
 
 // New wires a reclaim daemon. swapd may be nil (the paper's evaluation
@@ -122,6 +127,9 @@ func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 
 // Config returns the daemon's configuration.
 func (d *Daemon) Config() Config { return d.cfg }
+
+// SetProbes attaches the machine's probe plane (nil detaches).
+func (d *Daemon) SetProbes(p *probe.Probes) { d.probes = p }
 
 // Wake marks a node's kswapd runnable; the allocator calls this through
 // Allocator.WakeKswapd.
@@ -153,6 +161,11 @@ func (d *Daemon) Tick() float64 {
 		if !d.woken[i] && !d.wakeCondition(n) {
 			continue
 		}
+		if p := d.probes; p != nil && p.OnReclaimWake.Active() {
+			p.OnReclaimWake.Fire(probe.ReclaimWakeEvent{
+				Node: i, FreePages: n.Free(), TargetFree: d.targetFree(n),
+			})
+		}
 		spent := d.shrinkNode(n, d.targetFree(n), d.cfg.TickBudgetNs, false)
 		total += spent
 		// kswapd goes back to sleep once the target is met.
@@ -174,6 +187,11 @@ func (d *Daemon) DirectReclaim(id mem.NodeID, want uint64) (uint64, float64) {
 	target := n.Free() + want
 	if floor := n.WM.Min + want; target < floor {
 		target = floor
+	}
+	if p := d.probes; p != nil && p.OnReclaimWake.Active() {
+		p.OnReclaimWake.Fire(probe.ReclaimWakeEvent{
+			Node: int(id), FreePages: before, TargetFree: target, Direct: true,
+		})
 	}
 	spent := d.shrinkNode(n, target, d.cfg.TickBudgetNs/4, true)
 	freed := uint64(0)
@@ -338,6 +356,9 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 		d.scanPFNs = vec.TailBatch(id, scan-visited, d.scanPFNs[:0])
 		if len(d.scanPFNs) == 0 {
 			break
+		}
+		if p := d.probes; p != nil && p.Lat != nil {
+			p.Lat.ReclaimBatch.Observe(uint64(len(d.scanPFNs)))
 		}
 		for _, pfn := range d.scanPFNs {
 			if spent >= budgetNs {

@@ -33,6 +33,7 @@ import (
 	"tppsim/internal/migrate"
 	"tppsim/internal/numab"
 	"tppsim/internal/pagetable"
+	"tppsim/internal/probe"
 	"tppsim/internal/reclaim"
 	"tppsim/internal/series"
 	"tppsim/internal/swap"
@@ -99,6 +100,17 @@ type Config struct {
 	// SampleBudget caps the retained samples (default 512); a full
 	// series halves itself and doubles its cadence.
 	SampleBudget int
+	// ProbeLatency enables the distribution plane's histograms
+	// (metrics.Run.LatencyHist): per-node access latency, migration
+	// costs, allocstall durations, reclaim scan batches. Off — the
+	// default — keeps runs bit- and alloc-identical to probe-free
+	// builds; on costs a few percent of tick time and allocates nothing
+	// per tick.
+	ProbeLatency bool
+	// ProbePhases enables the tick-phase wall-clock profiler
+	// (metrics.Run.PhaseProfile). The profile is observational only:
+	// enabling it never changes a run's simulated results.
+	ProbePhases bool
 	// EnableChameleon attaches the profiler.
 	EnableChameleon bool
 	// ChameleonConfig overrides profiler defaults when enabled.
@@ -203,6 +215,13 @@ type Machine struct {
 	// off; levelsBuf is reused so sample ticks allocate nothing.
 	sampler   *series.Sampler
 	levelsBuf []series.Levels
+
+	// Probe plane (Config.ProbeLatency/ProbePhases or EnableProbes): nil
+	// when off. prof and latAcc cache the sub-planes so the hot paths
+	// pay one nil check each — latAcc aliases probes.Lat.Access.
+	probes *probe.Probes
+	prof   *probe.PhaseProfiler
+	latAcc []probe.Histogram
 }
 
 // New assembles a machine from the config.
@@ -326,6 +345,9 @@ func New(cfg Config) (*Machine, error) {
 			Budget: cfg.SampleBudget,
 		})
 		m.levelsBuf = make([]series.Levels, 0, m.nNodes)
+	}
+	if cfg.ProbeLatency || cfg.ProbePhases {
+		m.installProbes(probe.New(m.nNodes, cfg.ProbeLatency, cfg.ProbePhases))
 	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
@@ -464,6 +486,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 		}
 	}
 	m.warmSink = warm
+	m.prof.Lap(probe.PhaseTranslate)
 	const lruHot = mem.PGOnLRU | mem.PGReferenced | mem.PGActive
 	// Loop-invariant machine state in locals: calls inside the loop are
 	// rare, so the compiler can keep these in registers. Integer access
@@ -471,6 +494,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 	// float latency sum, which keeps its per-access order).
 	store, latMat, nodeLocal := m.store, m.latMat, m.nodeLocal
 	nn, numabOn, tick := m.nNodes, m.numabOn, m.tick
+	latAcc := m.latAcc
 	var accesses, local uint64
 	// Batched translations are valid only while no page is unmapped. A
 	// fault below can trigger direct reclaim, which evicts (unmaps)
@@ -501,6 +525,9 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 		pg := store.Page(pfn)
 		load := latMat[int(pg.Home)*nn+int(pg.Node)]
 		servedLocal := nodeLocal[pg.Node]
+		if latAcc != nil {
+			latAcc[pg.Node].Observe(uint64(load))
+		}
 		var event float64
 		if numabOn && pg.Flags.Has(mem.PGHinted) {
 			out := m.balancer.OnAccess(pfn, pg)
@@ -529,6 +556,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 	}
 	m.cur.Accesses += accesses
 	m.cur.LocalAccesses += local
+	m.prof.Lap(probe.PhaseCharge)
 }
 
 // finishAccess charges one access against the resident page pfn; event
@@ -537,6 +565,9 @@ func (m *Machine) finishAccess(v pagetable.VPN, pfn mem.PFN, event float64) {
 	pg := m.store.Page(pfn)
 	load := m.latMat[int(pg.Home)*m.nNodes+int(pg.Node)]
 	servedLocal := m.nodeLocal[pg.Node]
+	if m.latAcc != nil {
+		m.latAcc[pg.Node].Observe(uint64(load))
+	}
 
 	// NUMA-balancing hint fault and possible promotion: per-page event
 	// costs, paid once per hint regardless of access rate. The PGHinted
@@ -604,16 +635,24 @@ func (m *Machine) Step() {
 		return
 	}
 	m.cur = metrics.Tick{}
+	// prof's Begin/Lap are nil-receiver no-ops, so the unprofiled tick
+	// pays one branch per lap site and nothing else.
+	prof := m.prof
+	prof.Begin()
 
 	// 1. Workload housekeeping (may Touch pages).
 	m.wl.Tick(m, m.tick)
+	prof.Lap(probe.PhaseWorkload)
 
 	// 2. Access stream. The batch path draws the whole tick's accesses in
 	// one call; a draw never observes machine state mutated by earlier
 	// accesses, and after a mid-tick failure the run is over, so the
-	// stream is identical to per-access draws.
+	// stream is identical to per-access draws. The non-batch path
+	// interleaves draw and charge per access, so the profiler attributes
+	// all of it to the charge phase.
 	if m.batch != nil {
 		n := m.batch.NextAccessBatch(m, m.tick, m.accessBuf)
+		prof.Lap(probe.PhaseDraw)
 		m.runAccessBatch(m.accessBuf[:n])
 	} else {
 		for i := 0; i < m.cfg.AccessesPerTick && !m.failed; i++ {
@@ -623,11 +662,15 @@ func (m *Machine) Step() {
 			}
 			m.access(v)
 		}
+		prof.Lap(probe.PhaseCharge)
 	}
 
-	// 3. Daemons.
+	// 3. Daemons. Migration work shows up under the phase of the engine
+	// driving it: demotions under reclaim, promotions under numab.
 	m.daemon.Tick()
+	prof.Lap(probe.PhaseReclaim)
 	m.balancer.Tick()
+	prof.Lap(probe.PhaseNUMAB)
 	if m.atier != nil {
 		m.atier.Tick()
 		if m.atier.Failed() {
@@ -641,9 +684,11 @@ func (m *Machine) Step() {
 	if m.cham != nil {
 		m.cham.Tick()
 	}
+	prof.Lap(probe.PhaseControl)
 
 	// 4. Metrics.
 	m.fold()
+	prof.Lap(probe.PhaseFold)
 	m.tick++
 }
 
@@ -688,6 +733,34 @@ func (m *Machine) fold() {
 	m.run.UtilTotal.Append(minutes, (anon+file)/total)
 	m.run.UtilAnon.Append(minutes, anon/total)
 	m.run.UtilFile.Append(minutes, file/total)
+}
+
+// installProbes hands the probe plane to every engine that fires into
+// it and primes the machine's hot-path caches.
+func (m *Machine) installProbes(p *probe.Probes) {
+	m.probes = p
+	m.prof = p.Prof
+	if p.Lat != nil {
+		m.latAcc = p.Lat.Access
+	}
+	m.engine.SetProbes(p)
+	m.allocator.SetProbes(p)
+	m.daemon.SetProbes(p)
+}
+
+// Probes returns the machine's probe plane, or nil when none is
+// installed.
+func (m *Machine) Probes() *probe.Probes { return m.probes }
+
+// EnableProbes ensures the machine carries a probe plane and returns it,
+// so callers can attach tracepoint subscribers (probe.Hook) without
+// turning on the histogram or profiler sub-planes. Attach before the
+// first Step; the plane must not change mid-run.
+func (m *Machine) EnableProbes() *probe.Probes {
+	if m.probes == nil {
+		m.installProbes(probe.New(m.nNodes, false, false))
+	}
+	return m.probes
 }
 
 // tickThroughput computes this tick's normalized throughput from the
@@ -748,6 +821,10 @@ func (m *Machine) finish() {
 			m.sampler.Flush(m.tick-1, m.stat, m.NodeLevels(m.levelsBuf[:0]))
 		}
 		m.run.NodeSeries = m.sampler.Series()
+	}
+	if m.probes != nil {
+		m.run.LatencyHist = m.probes.Lat
+		m.run.PhaseProfile = m.probes.Prof
 	}
 	// Per-node end-of-run accounting from the stats plane — populated
 	// for failed runs too, so a crash still shows where pages sat.

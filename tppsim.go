@@ -73,6 +73,7 @@ import (
 	"tppsim/internal/experiments"
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
+	"tppsim/internal/probe"
 	"tppsim/internal/report"
 	"tppsim/internal/series"
 	"tppsim/internal/sim"
@@ -181,11 +182,51 @@ func TraceStats(path string, o TraceStatsOptions) (*NodeSeries, error) {
 }
 
 // Series renderers (see internal/report): an aligned per-window flow
-// table, terminal sparklines, and the full columnar CSV.
+// table, terminal sparklines, the full columnar CSV, and the two-run
+// comparative flow diff.
 var (
 	FlowTable        = report.FlowTable
 	SeriesPanel      = report.SeriesPanel
 	SeriesColumnsCSV = report.SeriesColumnsCSV
+	FlowDiffTable    = report.FlowDiffTable
+)
+
+// Histogram is the probe plane's zero-allocation log2-bucketed
+// distribution type (exact counts, bucket-bound percentiles).
+type Histogram = probe.Histogram
+
+// LatencySet is a run's latency/size histogram collection
+// (RunResult.LatencyHist): per-node access latency, migration costs by
+// direction, allocstall durations, and reclaim scan batch sizes.
+// Enable it with MachineConfig.ProbeLatency.
+type LatencySet = probe.LatencySet
+
+// PhaseProfile attributes host wall-clock per tick phase
+// (RunResult.PhaseProfile). Enable it with MachineConfig.ProbePhases.
+type PhaseProfile = probe.PhaseProfiler
+
+// Probes is a machine's probe plane (Machine.Probes/EnableProbes):
+// histograms, the phase profiler, and the typed tracepoint hooks
+// (OnDemote, OnPromote, OnAllocStall, OnReclaimWake) subsystems fire
+// and callers subscribe to.
+type Probes = probe.Probes
+
+// Tracepoint payloads carried by the probe plane's hooks.
+type (
+	MigrateEvent     = probe.MigrateEvent
+	AllocStallEvent  = probe.AllocStallEvent
+	ReclaimWakeEvent = probe.ReclaimWakeEvent
+)
+
+// Probe-plane renderers (see internal/report): the percentile digest
+// table, the tick-phase attribution table, an ASCII histogram panel,
+// and per-policy CDF columns as CSV.
+var (
+	PercentileTable = report.PercentileTable
+	PhaseTable      = report.PhaseTable
+	HistogramPanel  = report.HistogramPanel
+	CDFColumnsCSV   = report.CDFColumnsCSV
+	Dur             = report.Dur
 )
 
 // Policy is a placement-policy configuration.
