@@ -40,6 +40,16 @@
 //
 //	tppsim -workload Web1 -policy tpp -latency
 //	tppsim -workload Web1 -policy all -phase-profile -cpuprofile cpu.pb.gz
+//
+// Fault injection: -faults takes a deterministic failure schedule
+// (internal/fault syntax) and prints the fault timeline after the run.
+// Recording a faulted run stores the schedule in the trace header (v6),
+// so replaying it reproduces the same faults:
+//
+//	tppsim -workload Web1 -policy tpp -topology expander -faults "offline:node=2,at=1200,until=2400" -nodes
+//	tppsim -workload Web1 -policy tpp -faults "latency:node=1,at=600,until=1800,mult=3;migfail:prob=0.2,at=600,until=1800;seed=42"
+//	tppsim -workload Web1 -policy tpp -faults "offline:node=1,at=600" -record faulted.trace.gz
+//	tppsim -replay faulted.trace.gz -policy all
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 	"strings"
 
 	"tppsim/internal/core"
+	"tppsim/internal/fault"
 	"tppsim/internal/mem"
 	"tppsim/internal/prof"
 	"tppsim/internal/report"
@@ -81,6 +92,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 		list     = flag.Bool("list", false, "list catalog workloads and exit")
+		faultsFl = flag.String("faults", "", "fault-injection schedule, e.g. \"offline:node=1,at=600,until=1200;migfail:prob=0.2,at=100;seed=42\" (see internal/fault)")
 		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
 		replayF  = flag.String("replay", "", "replay a trace FILE instead of running a catalog workload")
 		loop     = flag.Bool("loop", false, "with -replay: loop the trace when the run outlasts it (otherwise the machine idles)")
@@ -179,6 +191,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var faults fault.Schedule
+	if *faultsFl != "" {
+		if faults, err = fault.ParseSpec(*faultsFl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	var tr *trace.Trace
 	var ctor func(uint64) workload.Workload
 	if *replayF != "" {
@@ -194,6 +214,12 @@ func main() {
 			// No explicit sizing: rebuild the recorded machine.
 			topo = *h.Topology
 			fmt.Printf("  machine from trace: %s (%d nodes)\n", topo.Name, len(topo.Nodes))
+		}
+		if *faultsFl == "" && h.Faults != nil {
+			// A v6 trace of a faulted run carries its schedule: replay it
+			// too, so the replayed machine suffers the same faults.
+			faults = *h.Faults
+			fmt.Printf("  faults from trace: %s\n", faults.Spec())
 		}
 		if !set["minutes"] && uint64(*minutes) > traceMin {
 			// Without an explicit -minutes, replay exactly the trace.
@@ -219,6 +245,7 @@ func main() {
 			SampleEveryTicks: *sampleEv,
 			ProbeLatency:     *latency,
 			ProbePhases:      *phaseFl,
+			Faults:           faults,
 		}
 		if len(topo.Nodes) > 0 {
 			cfg.Topology = topo
@@ -243,6 +270,9 @@ func main() {
 		}
 		if *nodesFl {
 			fmt.Print(report.NodeTable(res).String())
+		}
+		if ft := report.FaultTimeline(res); ft != nil {
+			fmt.Print(ft.String())
 		}
 		if *vmstatFl {
 			st := m.Stat()

@@ -95,6 +95,7 @@ func Registry() []Spec {
 		{"MT2", "Per-node flows across share mixes and distance matrices", MT2},
 		{"MT3", "Dual-socket residency/flows over time (series plane)", MT3},
 		{"MT4", "Access-latency CDFs per policy across topologies (probe plane)", MT4},
+		{"MT5", "Policy resilience under injected faults (fault plane)", MT5},
 	}
 }
 

@@ -13,8 +13,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 		}
 		seen[s.ID] = true
 	}
-	if len(seen) != 26 {
-		t.Fatalf("registry has %d experiments, want 26", len(seen))
+	if len(seen) != 27 {
+		t.Fatalf("registry has %d experiments, want 27", len(seen))
 	}
 }
 

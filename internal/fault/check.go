@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"fmt"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+)
+
+// InvariantChecker validates conservation invariants after every tick
+// of a faulted run, turning silent corruption (a page leaked during
+// evacuation, a counter charged to no node) into a loud failure:
+//
+//   - page conservation: sum of per-node resident pages == live pages
+//     in the store;
+//   - offline emptiness: no page resident on an offline node;
+//   - attribution: the global vmstat snapshot equals the sum of the
+//     per-node snapshots.
+type InvariantChecker struct {
+	topo  *tier.Topology
+	store *mem.Store
+	stat  *vmstat.NodeStats
+}
+
+// NewInvariantChecker wires a checker over a machine's state planes.
+func NewInvariantChecker(topo *tier.Topology, store *mem.Store, stat *vmstat.NodeStats) *InvariantChecker {
+	return &InvariantChecker{topo: topo, store: store, stat: stat}
+}
+
+// Check returns the first violated invariant, or nil.
+func (c *InvariantChecker) Check() error {
+	var resident uint64
+	for _, n := range c.topo.Nodes() {
+		resident += n.Resident()
+		if !c.topo.Online(n.ID) && n.Resident() != 0 {
+			return fmt.Errorf("fault: node %d is offline but holds %d resident pages", n.ID, n.Resident())
+		}
+	}
+	if live := uint64(c.store.Live()); resident != live {
+		return fmt.Errorf("fault: page counts diverged: nodes hold %d resident, store has %d live", resident, live)
+	}
+	var sum vmstat.Snapshot
+	for n := 0; n < c.stat.NumNodes(); n++ {
+		ns := c.stat.NodeSnapshot(mem.NodeID(n))
+		for i, v := range ns {
+			sum[i] += v
+		}
+	}
+	if global := c.stat.Snapshot(); sum != global {
+		for i := range sum {
+			if sum[i] != global[i] {
+				return fmt.Errorf("fault: counter %s: per-node sum %d != global %d",
+					vmstat.Counter(i), sum[i], global[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"errors"
+
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/xrand"
+)
+
+// Injected-failure errors returned through migrate.Engine.Migrate. The
+// engine has already charged the pgmigrate_fail-family counters when a
+// caller sees one of these; callers treat them like ErrBusy/ErrRefs —
+// transient, page-specific, not a reason to advance the cascade.
+var (
+	// ErrInjected is a transient injected migration failure; the page
+	// enters exponential backoff.
+	ErrInjected = errors.New("fault: injected transient migration failure")
+	// ErrBackoff refuses an attempt on a page still inside its backoff
+	// window.
+	ErrBackoff = errors.New("fault: page in migration backoff")
+	// ErrExhausted drops a page that failed MaxRetries re-attempts.
+	ErrExhausted = errors.New("fault: migration retries exhausted")
+)
+
+// retryState tracks one page's failed migration attempts.
+type retryState struct {
+	fails int    // consecutive injected failures
+	next  uint64 // first tick a re-attempt is allowed
+}
+
+// Retrier implements the migrate.FaultHook contract: during a MigFail
+// window every migration attempt fails with probability prob, and a
+// failed page backs off exponentially (1, 2, 4, ... ticks) for at most
+// maxRetries re-attempts before being dropped from migration. Rolls
+// come from the fault plane's own RNG (seeded from Schedule.Seed), so
+// windows never perturb the machine's random streams. Outside a
+// window the hook is a single branch.
+type Retrier struct {
+	stat *vmstat.NodeStats
+	rng  *xrand.RNG
+	tick uint64
+
+	active     bool
+	prob       float64
+	maxRetries int
+	state      map[mem.PFN]retryState
+}
+
+// NewRetrier returns a detached retrier; the simulator attaches it to
+// the migration engine via SetFaultHook when a schedule is present.
+func NewRetrier(seed uint64, stat *vmstat.NodeStats) *Retrier {
+	return &Retrier{stat: stat, rng: xrand.New(seed ^ 0x6d1672), state: make(map[mem.PFN]retryState)}
+}
+
+// BeginTick advances the retrier's clock.
+func (r *Retrier) BeginTick(tick uint64) { r.tick = tick }
+
+// SetWindow opens a migration-failure window.
+func (r *Retrier) SetWindow(prob float64, maxRetries int) {
+	r.active, r.prob, r.maxRetries = true, prob, maxRetries
+}
+
+// ClearWindow closes the window and forgets all backoff state.
+func (r *Retrier) ClearWindow() {
+	r.active = false
+	clearMap(r.state)
+}
+
+// Active reports whether a failure window is open.
+func (r *Retrier) Active() bool { return r.active }
+
+// OnMigrateAttempt is consulted by the engine once per isolated page.
+// A non-nil return fails the attempt; the engine putbacks the page and
+// charges pgmigrate_fail (plus the reason-specific counters) to src.
+func (r *Retrier) OnMigrateAttempt(pfn mem.PFN, src, dest mem.NodeID, promotion bool) error {
+	if !r.active {
+		return nil
+	}
+	st, seen := r.state[pfn]
+	if seen {
+		if r.tick < st.next {
+			return ErrBackoff
+		}
+		// Backoff expired: this attempt is a counted retry.
+		r.stat.Inc(src, vmstat.MigrateRetry)
+	}
+	if r.rng.Float64() < r.prob {
+		st.fails++
+		if st.fails > r.maxRetries {
+			delete(r.state, pfn)
+			r.stat.Inc(src, vmstat.MigrateBackoffDrop)
+			return ErrExhausted
+		}
+		st.next = r.tick + 1<<uint(st.fails-1)
+		r.state[pfn] = st
+		return ErrInjected
+	}
+	if seen {
+		delete(r.state, pfn)
+	}
+	return nil
+}
+
+// OnMigrateSuccess clears any backoff state for a page that moved
+// (also covers pages freed and re-allocated under a new identity only
+// if they migrate; ClearWindow bounds staleness to one window).
+func (r *Retrier) OnMigrateSuccess(pfn mem.PFN) {
+	if len(r.state) != 0 {
+		delete(r.state, pfn)
+	}
+}
+
+func clearMap(m map[mem.PFN]retryState) {
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -106,6 +106,18 @@ func NewNode(id NodeID, kind NodeKind, capacityPages uint64, demoteScaleFactor f
 	}
 }
 
+// Resize shrinks or grows the node to capacityPages and rebuilds its
+// watermarks at the given demote scale factor. The new capacity is
+// clamped to the current resident count — the fault plane evacuates
+// overage before resizing, and Free() must never underflow.
+func (n *Node) Resize(capacityPages uint64, demoteScaleFactor float64) {
+	if capacityPages < n.resident {
+		capacityPages = n.resident
+	}
+	n.Capacity = capacityPages
+	n.WM = DefaultWatermarks(capacityPages, demoteScaleFactor)
+}
+
 // Free returns the number of free pages on the node.
 func (n *Node) Free() uint64 { return n.Capacity - n.resident }
 

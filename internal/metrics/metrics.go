@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"tppsim/internal/fault"
 	"tppsim/internal/probe"
 	"tppsim/internal/series"
 	"tppsim/internal/vmstat"
@@ -216,6 +217,9 @@ type Run struct {
 	// wall-clock and therefore nondeterministic; everything else in the
 	// Run stays bit-identical.
 	PhaseProfile *probe.PhaseProfiler
+	// FaultLog lists every fault edge the fault plane applied during
+	// the run, in application order. Empty for faults-off runs.
+	FaultLog []fault.Occurrence
 }
 
 // NodeResult is one memory node's end-of-run accounting: identity,

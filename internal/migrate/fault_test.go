@@ -1,0 +1,242 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/tier"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/xrand"
+)
+
+// newExpanderFixture builds the 3-tier multi-hop machine (local DRAM,
+// near CXL, far CXL) so failure attribution can be checked across
+// far-tier hops, not just the 2-node box.
+func newExpanderFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	topo, err := tier.PresetExpander(2, 1, 1).Build(400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := mem.NewStore(int(topo.TotalCapacity()))
+	vecs := make([]*lru.Vec, topo.NumNodes())
+	for i := range vecs {
+		vecs[i] = lru.NewVec(store)
+	}
+	stat := vmstat.NewNodeStats(topo.NumNodes())
+	eng := NewEngine(cfg, store, topo, vecs, stat, xrand.New(1))
+	return &fixture{store: store, topo: topo, vecs: vecs, stat: stat, eng: eng}
+}
+
+// failHook is a FaultHook that fails every attempt with a fixed error
+// and records what it was consulted with.
+type failHook struct {
+	err       error
+	attempts  int
+	lastSrc   mem.NodeID
+	lastDest  mem.NodeID
+	lastProm  bool
+	successes int
+}
+
+func (h *failHook) OnMigrateAttempt(pfn mem.PFN, src, dest mem.NodeID, promotion bool) error {
+	h.attempts++
+	h.lastSrc, h.lastDest, h.lastProm = src, dest, promotion
+	return h.err
+}
+
+func (h *failHook) OnMigrateSuccess(mem.PFN) { h.successes++ }
+
+// TestDemoteFailureChargedToSource pins failure attribution for
+// demotions: pgmigrate_fail and pgdemote_fail land on the SOURCE node
+// (the node that tried to shed the page), never on the destination.
+func TestDemoteFailureChargedToSource(t *testing.T) {
+	f := newFixture(t, Config{RefsFailProb: -1}, 100, 1)
+	f.allocOn(t, 1, mem.Anon, false) // fill the CXL node
+	pfn := f.allocOn(t, 0, mem.File, false)
+	if _, err := f.eng.Migrate(pfn, 1, Demotion); !errors.Is(err, ErrTargetFull) {
+		t.Fatalf("err = %v, want ErrTargetFull", err)
+	}
+	if got := f.stat.GetNode(0, vmstat.PgmigrateFail); got != 1 {
+		t.Errorf("source pgmigrate_fail = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(0, vmstat.PgdemoteFail); got != 1 {
+		t.Errorf("source pgdemote_fail = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(1, vmstat.PgmigrateFail) + f.stat.GetNode(1, vmstat.PgdemoteFail); got != 0 {
+		t.Errorf("destination charged %d failure counts, want 0", got)
+	}
+}
+
+// TestPromoteFailureChargedToSource pins the same attribution for
+// promotions: pgmigrate_fail and promote_fail_low_memory land on the
+// source (the CXL node holding the trapped page).
+func TestPromoteFailureChargedToSource(t *testing.T) {
+	f := newFixture(t, Config{RefsFailProb: -1}, 1, 100)
+	f.allocOn(t, 0, mem.Anon, false) // fill local
+	pfn := f.allocOn(t, 1, mem.Anon, true)
+	if _, err := f.eng.Migrate(pfn, 0, Promotion); !errors.Is(err, ErrTargetFull) {
+		t.Fatalf("err = %v, want ErrTargetFull", err)
+	}
+	if got := f.stat.GetNode(1, vmstat.PgmigrateFail); got != 1 {
+		t.Errorf("source pgmigrate_fail = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(1, vmstat.PromoteFailLowMem); got != 1 {
+		t.Errorf("source promote_fail_low_memory = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(0, vmstat.PgmigrateFail) + f.stat.GetNode(0, vmstat.PromoteFailLowMem); got != 0 {
+		t.Errorf("destination charged %d failure counts, want 0", got)
+	}
+	// pgdemote_fail is a demotion counter; a failed promotion must not
+	// touch it anywhere.
+	if got := f.stat.Get(vmstat.PgdemoteFail); got != 0 {
+		t.Errorf("failed promotion charged pgdemote_fail = %d", got)
+	}
+}
+
+// TestRefsFailureAttribution covers the transient-reference failure
+// path: promote_fail_refs on the source for promotions, only the
+// generic counters for demotions.
+func TestRefsFailureAttribution(t *testing.T) {
+	f := newFixture(t, Config{RefsFailProb: 1}, 100, 100)
+	pfn := f.allocOn(t, 1, mem.Anon, true)
+	if _, err := f.eng.Migrate(pfn, 0, Promotion); !errors.Is(err, ErrRefs) {
+		t.Fatalf("err = %v, want ErrRefs", err)
+	}
+	if got := f.stat.GetNode(1, vmstat.PromoteFailRefs); got != 1 {
+		t.Errorf("source promote_fail_refs = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(0, vmstat.PromoteFailRefs); got != 0 {
+		t.Errorf("destination promote_fail_refs = %d, want 0", got)
+	}
+}
+
+// TestFarTierFailureAttribution exercises the failure counters on the
+// 3-tier expander: a failed far→near promotion charges the FAR node,
+// and a successful one counts pgpromote_far on the far (source) node —
+// while a near→far demotion failure charges the NEAR node and its
+// success counts pgdemote_far on the far (destination) node.
+func TestFarTierFailureAttribution(t *testing.T) {
+	f := newExpanderFixture(t, Config{RefsFailProb: -1})
+	near := f.topo.Node(1)
+
+	// Fill the near node so a far→near promotion fails with low memory.
+	for near.Free() > 0 {
+		f.allocOn(t, 1, mem.Anon, false)
+	}
+	trapped := f.allocOn(t, 2, mem.Anon, true)
+	if _, err := f.eng.Migrate(trapped, 1, Promotion); !errors.Is(err, ErrTargetFull) {
+		t.Fatalf("far promotion: err = %v, want ErrTargetFull", err)
+	}
+	if got := f.stat.GetNode(2, vmstat.PgmigrateFail); got != 1 {
+		t.Errorf("far-node pgmigrate_fail = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(2, vmstat.PromoteFailLowMem); got != 1 {
+		t.Errorf("far-node promote_fail_low_memory = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(1, vmstat.PgmigrateFail); got != 0 {
+		t.Errorf("near-node charged the far node's failure: pgmigrate_fail = %d", got)
+	}
+
+	// Promote straight to local instead: success, pgpromote_far on the
+	// far source.
+	if _, err := f.eng.Migrate(trapped, 0, Promotion); err != nil {
+		t.Fatalf("far→local promotion: %v", err)
+	}
+	if got := f.stat.GetNode(2, vmstat.PgpromoteFar); got != 1 {
+		t.Errorf("far-node pgpromote_far = %d, want 1", got)
+	}
+
+	// Demote a near page to the far tier: pgdemote_far lands on the far
+	// destination.
+	victim := f.vecs[1].Tail(lru.InactiveAnon)
+	if victim == mem.NilPFN {
+		t.Fatal("no near-node victim")
+	}
+	if _, err := f.eng.Migrate(victim, 2, Demotion); err != nil {
+		t.Fatalf("near→far demotion: %v", err)
+	}
+	if got := f.stat.GetNode(2, vmstat.PgdemoteFar); got != 1 {
+		t.Errorf("far-node pgdemote_far = %d, want 1", got)
+	}
+	// The demotion family counters (pgdemote_anon) stay on the source.
+	if got := f.stat.GetNode(1, vmstat.PgdemoteAnon); got != 1 {
+		t.Errorf("near-node pgdemote_anon = %d, want 1", got)
+	}
+}
+
+// TestFaultHookFailureAttribution pins the fault-plane hook contract:
+// a hook veto putbacks the page, returns the hook's error verbatim,
+// and charges the pgmigrate_fail family to the source node.
+func TestFaultHookFailureAttribution(t *testing.T) {
+	f := newFixture(t, Config{RefsFailProb: -1}, 100, 100)
+	sentinel := errors.New("injected")
+	hook := &failHook{err: sentinel}
+	f.eng.SetFaultHook(hook)
+
+	pfn := f.allocOn(t, 0, mem.File, false)
+	if _, err := f.eng.Migrate(pfn, 1, Demotion); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+	if hook.attempts != 1 || hook.lastSrc != 0 || hook.lastDest != 1 || hook.lastProm {
+		t.Errorf("hook consulted with %+v", hook)
+	}
+	pg := f.store.Page(pfn)
+	if pg.Node != 0 || !pg.Flags.Has(mem.PGOnLRU) || pg.Flags.Has(mem.PGIsolated) {
+		t.Fatalf("hook failure corrupted page: %+v", pg)
+	}
+	if got := f.stat.GetNode(0, vmstat.PgmigrateFail); got != 1 {
+		t.Errorf("source pgmigrate_fail = %d, want 1", got)
+	}
+	if got := f.stat.GetNode(0, vmstat.PgdemoteFail); got != 1 {
+		t.Errorf("source pgdemote_fail = %d, want 1", got)
+	}
+
+	// Detach: the same migration now succeeds and the old hook hears
+	// nothing.
+	f.eng.SetFaultHook(nil)
+	if _, err := f.eng.Migrate(pfn, 1, Demotion); err != nil {
+		t.Fatalf("after detach: %v", err)
+	}
+	if hook.successes != 0 {
+		t.Error("detached hook still consulted")
+	}
+
+	// Reattached with a nil error, the hook sees successes.
+	hook.err = nil
+	f.eng.SetFaultHook(hook)
+	if _, err := f.eng.Migrate(pfn, 0, Promotion); err != nil {
+		t.Fatalf("promotion with passing hook: %v", err)
+	}
+	if hook.successes != 1 || !hook.lastProm {
+		t.Errorf("hook success path: %+v", hook)
+	}
+}
+
+// TestOfflineDestinationBackstop pins the graceful-degradation contract
+// for callers with cached cascades (AutoTiering): migrating onto an
+// offline node fails as ErrTargetFull — "advance the cascade" — with
+// the failure charged to the source.
+func TestOfflineDestinationBackstop(t *testing.T) {
+	f := newExpanderFixture(t, Config{RefsFailProb: -1})
+	f.topo.SetOffline(2, true)
+	pfn := f.allocOn(t, 1, mem.Anon, false)
+	if _, err := f.eng.Migrate(pfn, 2, Demotion); !errors.Is(err, ErrTargetFull) {
+		t.Fatalf("err = %v, want ErrTargetFull", err)
+	}
+	if got := f.stat.GetNode(1, vmstat.PgmigrateFail); got != 1 {
+		t.Errorf("source pgmigrate_fail = %d, want 1", got)
+	}
+	// Promotion onto an offline node also counts the low-memory reason.
+	f.topo.SetOffline(2, false)
+	f.topo.SetOffline(1, true)
+	trapped := f.allocOn(t, 2, mem.Anon, true)
+	if _, err := f.eng.Migrate(trapped, 1, Promotion); !errors.Is(err, ErrTargetFull) {
+		t.Fatalf("promotion err = %v, want ErrTargetFull", err)
+	}
+	if got := f.stat.GetNode(2, vmstat.PromoteFailLowMem); got != 1 {
+		t.Errorf("source promote_fail_low_memory = %d, want 1", got)
+	}
+}

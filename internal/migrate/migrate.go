@@ -67,6 +67,17 @@ type Config struct {
 	WatermarkGuard bool
 }
 
+// FaultHook lets the fault-injection plane veto migration attempts.
+// OnMigrateAttempt is consulted once per attempt, after the page is
+// isolated and before the transient-reference roll; a non-nil error
+// fails the attempt (the engine putbacks the page, charges the
+// pgmigrate_fail-family counters to src, and returns the hook's error).
+// OnMigrateSuccess lets the hook clear per-page retry state.
+type FaultHook interface {
+	OnMigrateAttempt(pfn mem.PFN, src, dest mem.NodeID, promotion bool) error
+	OnMigrateSuccess(pfn mem.PFN)
+}
+
 // Engine performs migrations over a machine's store/topology/LRU vectors.
 type Engine struct {
 	cfg   Config
@@ -80,6 +91,9 @@ type Engine struct {
 	// migrations observe their cost into the direction's histogram and
 	// fire the demote/promote tracepoints.
 	probes *probe.Probes
+
+	// faults is the fault plane's migration hook (nil = no injection).
+	faults FaultHook
 
 	movedPages  uint64 // total pages successfully moved
 	windowPages uint64 // pages moved since last TakeWindow
@@ -108,6 +122,11 @@ func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Ve
 
 // SetProbes attaches the machine's probe plane (nil detaches).
 func (e *Engine) SetProbes(p *probe.Probes) { e.probes = p }
+
+// SetFaultHook attaches the fault plane's migration hook (nil
+// detaches; the simulator detaches it around emergency evacuation so
+// injected failures cannot block an offlining node from draining).
+func (e *Engine) SetFaultHook(h FaultHook) { e.faults = h }
 
 // DemotedInto returns how many pages have been demoted onto the node.
 func (e *Engine) DemotedInto(id mem.NodeID) uint64 { return e.demotedInto[id] }
@@ -141,11 +160,31 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 	if pg.Flags.Has(mem.PGUnevictable) {
 		return 0, ErrBusy
 	}
+	// Fault plane: refuse migration onto an offline node. Callers that
+	// cached their demotion cascade before the node died (AutoTiering
+	// snapshots targets at construction) treat ErrTargetFull as
+	// "advance the cascade", which reroutes them around it.
+	if !e.topo.Online(dest) {
+		e.fail(src, reason)
+		if reason == Promotion {
+			e.stat.Inc(src, vmstat.PromoteFailLowMem)
+		}
+		return 0, ErrTargetFull
+	}
 
 	// Step 1: isolate from the source LRU.
 	if !e.vecs[src].Isolate(pfn) {
 		e.fail(src, reason)
 		return 0, ErrBusy
+	}
+
+	// Step 1b: injected transient failures (fault plane).
+	if e.faults != nil {
+		if ferr := e.faults.OnMigrateAttempt(pfn, src, dest, reason == Promotion); ferr != nil {
+			e.vecs[src].Putback(pfn)
+			e.fail(src, reason)
+			return 0, ferr
+		}
 	}
 
 	// Step 2: transient reference failures.
@@ -213,6 +252,9 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 	e.stat.Inc(dest, vmstat.PgmigrateSuccess)
 	e.movedPages++
 	e.windowPages++
+	if e.faults != nil {
+		e.faults.OnMigrateSuccess(pfn)
+	}
 	if p := e.probes; p != nil {
 		promo := reason == Promotion
 		if p.Lat != nil {

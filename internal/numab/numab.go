@@ -239,6 +239,13 @@ func (b *Balancer) OnAccess(pfn mem.PFN, pg *mem.Page) AccessOutcome {
 		b.stat.Inc(pg.Node, vmstat.PromoteFailIsolate)
 		return out
 	}
+	if b.topo.Degraded(target) {
+		// Fault plane: the target sits in a latency-degradation window;
+		// promoting onto a device currently slower than advertised would
+		// pay migration cost for no gain. Back off until it recovers.
+		b.stat.Inc(pg.Node, vmstat.PromoteFailLowMem)
+		return out
+	}
 	tn := b.topo.Node(target)
 	if b.cfg.IgnoreAllocWatermark {
 		// §5.3: "we ignore the allocation watermark checking for the

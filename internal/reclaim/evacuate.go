@@ -1,0 +1,105 @@
+package reclaim
+
+import (
+	"tppsim/internal/lru"
+	"tppsim/internal/mem"
+	"tppsim/internal/migrate"
+	"tppsim/internal/pagetable"
+)
+
+// evacLists orders the LRU lists an evacuation drains: coldest pages
+// first, so the pages most likely to be re-accessed are the last to
+// risk the forced-eviction fallback.
+var evacLists = [...]lru.ListID{lru.InactiveFile, lru.InactiveAnon, lru.ActiveFile, lru.ActiveAnon}
+
+// EvacuatePages is the fault plane's emergency drain: it moves up to
+// want resident pages off the node, preferring migration along the
+// health-filtered demotion cascade and then any other online node by
+// distance. Transient per-page failures are retried on later passes;
+// the loop ends when want is met or a full pass makes no progress.
+// When force is set (the node is going offline, so the pages cannot
+// stay), whatever migration could not place is force-evicted —
+// unmapped and freed with refault-on-next-access semantics, the
+// simulator's model of data that must be refetched after the device
+// drops. Returns pages migrated and pages force-evicted.
+//
+// The caller detaches the engine's fault hook first: injected
+// migration failures must not block a dying node from draining.
+func (d *Daemon) EvacuatePages(id mem.NodeID, want uint64, force bool) (migrated, evicted uint64) {
+	if want == 0 {
+		return 0, 0
+	}
+	n := d.topo.Node(id)
+	vec := d.vecs[id]
+	targets := d.evacTargets(id)
+	for {
+		progress := false
+		for _, list := range evacLists {
+			if migrated >= want {
+				break
+			}
+			d.scanPFNs = vec.TailBatch(list, int(vec.Size(list)), d.scanPFNs[:0])
+			for _, pfn := range d.scanPFNs {
+				if migrated >= want {
+					break
+				}
+				for _, dst := range targets {
+					reason := migrate.Demotion
+					if d.topo.TierOf(dst) < d.topo.TierOf(id) {
+						reason = migrate.Promotion
+					}
+					_, err := d.engine.Migrate(pfn, dst, reason)
+					if err == nil {
+						migrated++
+						progress = true
+						break
+					}
+					if err != migrate.ErrTargetFull {
+						break // page-transient: retry on a later pass
+					}
+				}
+			}
+		}
+		if migrated >= want || !progress {
+			break
+		}
+	}
+	if !force {
+		return migrated, evicted
+	}
+	// Forced eviction: the remainder cannot stay on a dead device.
+	for _, list := range evacLists {
+		for migrated+evicted < want {
+			pfn := vec.Tail(list)
+			if pfn == mem.NilPFN {
+				break
+			}
+			d.evict(n, vec, pfn, pagetable.EvictFile)
+			evicted++
+		}
+	}
+	return migrated, evicted
+}
+
+// evacTargets returns every online node an evacuation may land pages
+// on: the demotion cascade first (the §5.1 order), then the remaining
+// online nodes by distance.
+func (d *Daemon) evacTargets(id mem.NodeID) []mem.NodeID {
+	out := append([]mem.NodeID(nil), d.topo.DemotionTargets(id)...)
+	for _, cand := range d.topo.FallbackOrder(id) {
+		if cand == id {
+			continue
+		}
+		dup := false
+		for _, have := range out {
+			if have == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

@@ -158,6 +158,11 @@ func (d *Daemon) Tick() float64 {
 	var total float64
 	for i := 0; i < d.topo.NumNodes(); i++ {
 		n := d.topo.Node(mem.NodeID(i))
+		if !d.topo.Online(n.ID) {
+			// Offline nodes hold nothing to reclaim; drop any stale wake.
+			d.woken[i] = false
+			continue
+		}
 		if !d.woken[i] && !d.wakeCondition(n) {
 			continue
 		}

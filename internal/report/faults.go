@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+
+	"tppsim/internal/metrics"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/workload"
+)
+
+// FaultTimeline renders a faulted run's applied fault edges — one row
+// per occurrence, in application order — followed by the run's fault
+// counters. Returns nil when the run injected nothing.
+func FaultTimeline(r *metrics.Run) *Table {
+	if len(r.FaultLog) == 0 {
+		return nil
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fault timeline — %s/%s", r.Workload, r.Policy),
+		Columns: []string{"tick", "minute", "event", "node", "detail"},
+	}
+	for _, o := range r.FaultLog {
+		node := "machine"
+		if o.Node >= 0 {
+			node = fmt.Sprintf("%d", o.Node)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", o.Tick),
+			F1(float64(o.Tick)/workload.TicksPerMinute),
+			o.Kind.String(),
+			node,
+			o.Detail,
+		)
+	}
+	var offline, evac, retry, drop uint64
+	for _, n := range r.Nodes {
+		offline += n.Get(vmstat.NodeOfflineEvents)
+		evac += n.Get(vmstat.EvacuatedPages)
+		retry += n.Get(vmstat.MigrateRetry)
+		drop += n.Get(vmstat.MigrateBackoffDrop)
+	}
+	t.AddNote("%d offline events, %d pages evacuated, %d migration retries, %d pages dropped after backoff",
+		offline, evac, retry, drop)
+	return t
+}

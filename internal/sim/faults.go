@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"tppsim/internal/fault"
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+)
+
+// faultDriver applies a compiled fault schedule to a live machine. It
+// owns the edge cursor, the migration retrier (attached to the engine
+// as its FaultHook), the per-tick invariant checker, and the occurrence
+// log surfaced as metrics.Run.FaultLog. All of its randomness comes
+// from the schedule's own seed, so an attached driver whose edges never
+// fire leaves the run bit-identical to an unfaulted one.
+type faultDriver struct {
+	m       *Machine
+	edges   []fault.Edge
+	next    int
+	retrier *fault.Retrier
+	checker *fault.InvariantChecker
+	log     []fault.Occurrence
+}
+
+// newFaultDriver compiles the schedule and hooks the retrier into the
+// migration engine. The schedule must already be validated.
+func newFaultDriver(m *Machine, s fault.Schedule) *faultDriver {
+	d := &faultDriver{
+		m:       m,
+		edges:   s.Compile(),
+		retrier: fault.NewRetrier(s.Seed, m.stat),
+		checker: fault.NewInvariantChecker(m.topo, m.store, m.stat),
+	}
+	m.engine.SetFaultHook(d.retrier)
+	return d
+}
+
+// beginTick advances the retrier clock and applies every edge due at or
+// before this tick, in schedule order.
+func (d *faultDriver) beginTick(tick uint64) {
+	d.retrier.BeginTick(tick)
+	for d.next < len(d.edges) && d.edges[d.next].Tick <= tick {
+		d.apply(d.edges[d.next], tick)
+		d.next++
+	}
+}
+
+// apply executes one edge against the machine and logs what happened.
+func (d *faultDriver) apply(e fault.Edge, tick uint64) {
+	m := d.m
+	var detail string
+	switch e.Kind {
+	case fault.NodeOffline:
+		id := mem.NodeID(e.Node)
+		m.topo.SetOffline(id, true)
+		mig, ev := d.evacuate(id, m.topo.Node(id).Resident(), true)
+		m.stat.Inc(id, vmstat.NodeOfflineEvents)
+		m.stat.Add(id, vmstat.EvacuatedPages, mig+ev)
+		detail = fmt.Sprintf("evacuated %d pages (%d evicted)", mig+ev, ev)
+	case fault.NodeOnline:
+		m.topo.SetOffline(mem.NodeID(e.Node), false)
+	case fault.LatencyDegrade:
+		m.topo.SetLatencyScale(mem.NodeID(e.Node), e.Arg)
+		m.refreshLatMat()
+		detail = fmt.Sprintf("latency x%.2f", e.Arg)
+	case fault.LatencyRestore:
+		m.topo.SetLatencyScale(mem.NodeID(e.Node), 1)
+		m.refreshLatMat()
+	case fault.MigFailBegin:
+		d.retrier.SetWindow(e.Arg, e.MaxRetries)
+		detail = fmt.Sprintf("p=%g, retries=%d", e.Arg, e.MaxRetries)
+	case fault.MigFailEnd:
+		d.retrier.ClearWindow()
+	case fault.CapacityLoss:
+		id := mem.NodeID(e.Node)
+		n := m.topo.Node(id)
+		var newCap uint64
+		if e.Pages < n.Capacity {
+			newCap = n.Capacity - e.Pages
+		}
+		if over := n.Resident(); over > newCap {
+			mig, ev := d.evacuate(id, over-newCap, true)
+			m.stat.Add(id, vmstat.EvacuatedPages, mig+ev)
+		}
+		n.Resize(newCap, m.topo.DemoteScaleFactor())
+		detail = fmt.Sprintf("capacity -%d pages, now %d", e.Pages, n.Capacity)
+	}
+	d.log = append(d.log, fault.Occurrence{Tick: tick, Kind: e.Kind, Node: e.Node, Detail: detail})
+	if m.recorder != nil {
+		m.recorder.Fault(e)
+	}
+}
+
+// evacuate drains want pages off a dying or shrinking node with the
+// engine's fault hook detached: injected migration failures (and their
+// backoff state) must not block an emergency drain.
+func (d *faultDriver) evacuate(id mem.NodeID, want uint64, force bool) (migrated, evicted uint64) {
+	m := d.m
+	m.engine.SetFaultHook(nil)
+	migrated, evicted = m.daemon.EvacuatePages(id, want, force)
+	m.engine.SetFaultHook(d.retrier)
+	return migrated, evicted
+}

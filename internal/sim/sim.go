@@ -27,6 +27,7 @@ import (
 	"tppsim/internal/autotiering"
 	"tppsim/internal/chameleon"
 	"tppsim/internal/core"
+	"tppsim/internal/fault"
 	"tppsim/internal/lru"
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
@@ -122,6 +123,16 @@ type Config struct {
 	// check Machine.RecordError afterwards. Recording is transparent:
 	// the run's results are identical with or without it.
 	RecordTo string
+
+	// Faults is the deterministic fault-injection schedule: node
+	// offline/online windows, latency-degradation windows, transient
+	// migration-failure windows with retry/backoff, and capacity loss.
+	// The plane draws randomness only from Faults.Seed, so the empty
+	// schedule (the default) leaves runs bit- and alloc-identical to a
+	// machine built without the plane, and a fixed machine seed plus a
+	// fixed schedule reproduces identical faulted runs. Recorded traces
+	// (v6) carry the schedule, so replays rebuild the same faults.
+	Faults fault.Schedule
 }
 
 func (c Config) withDefaults() Config {
@@ -190,9 +201,11 @@ type Machine struct {
 	// Per-(home CPU, resident node) load-latency matrix cached from the
 	// topology (flattened row-major) so the access hot path is one
 	// multiply and two slice indexes instead of pointer-chasing through
-	// Topology. Latencies are fixed for the life of a machine; sweeps
-	// configure them via Config.CXLLatencyNs/NodeLatencyNs before
-	// assembly. On single-socket machines row 0 is the only row read.
+	// Topology. Sweeps configure latencies via
+	// Config.CXLLatencyNs/NodeLatencyNs before assembly; only the fault
+	// plane's latency-degradation edges change them mid-run, and each
+	// edge calls refreshLatMat. On single-socket machines row 0 is the
+	// only row read.
 	latMat    []float64
 	nNodes    int
 	nodeLocal []bool
@@ -222,6 +235,10 @@ type Machine struct {
 	probes *probe.Probes
 	prof   *probe.PhaseProfiler
 	latAcc []probe.Histogram
+
+	// Fault plane (Config.Faults): nil when the schedule is empty, so
+	// unfaulted runs pay one nil check per tick and nothing else.
+	faults *faultDriver
 }
 
 // New assembles a machine from the config.
@@ -258,6 +275,9 @@ func New(cfg Config) (*Machine, error) {
 		if ns > 0 && i < topo.NumNodes() {
 			topo.SetLatency(mem.NodeID(i), ns)
 		}
+	}
+	if err := cfg.Faults.Validate(topo); err != nil {
+		return nil, err
 	}
 
 	m := &Machine{
@@ -314,6 +334,10 @@ func New(cfg Config) (*Machine, error) {
 		h := trace.HeaderFor(cfg.Workload)
 		spec := topo.Spec()
 		h.Topology = &spec
+		if !cfg.Faults.Empty() {
+			fs := cfg.Faults
+			h.Faults = &fs
+		}
 		w, err := trace.Create(cfg.RecordTo, h)
 		if err != nil {
 			return nil, err
@@ -328,10 +352,8 @@ func New(cfg Config) (*Machine, error) {
 	m.nodeLocal = make([]bool, m.nNodes)
 	for i := 0; i < m.nNodes; i++ {
 		m.nodeLocal[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindLocal
-		for j := 0; j < m.nNodes; j++ {
-			m.latMat[i*m.nNodes+j] = topo.AccessLatency(mem.NodeID(i), mem.NodeID(j))
-		}
 	}
+	m.refreshLatMat()
 	m.cpuNodes = topo.LocalNodes()
 	if len(m.cpuNodes) == 0 {
 		m.cpuNodes = []mem.NodeID{0}
@@ -348,6 +370,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.ProbeLatency || cfg.ProbePhases {
 		m.installProbes(probe.New(m.nNodes, cfg.ProbeLatency, cfg.ProbePhases))
+	}
+	if !cfg.Faults.Empty() {
+		m.faults = newFaultDriver(m, cfg.Faults)
 	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
@@ -635,6 +660,12 @@ func (m *Machine) Step() {
 		return
 	}
 	m.cur = metrics.Tick{}
+	// Fault plane: apply every schedule edge due this tick (offline
+	// evacuations, latency windows, migration-failure windows, capacity
+	// loss) before the workload and daemons see the machine.
+	if m.faults != nil {
+		m.faults.beginTick(m.tick)
+	}
 	// prof's Begin/Lap are nil-receiver no-ops, so the unprofiled tick
 	// pays one branch per lap site and nothing else.
 	prof := m.prof
@@ -689,6 +720,14 @@ func (m *Machine) Step() {
 	// 4. Metrics.
 	m.fold()
 	prof.Lap(probe.PhaseFold)
+	// Faulted runs validate conservation invariants every tick: pages
+	// leaked by an evacuation or counters charged to no node fail loudly
+	// at the tick that broke them, not at the end of the run.
+	if m.faults != nil {
+		if err := m.faults.checker.Check(); err != nil {
+			m.fail(err.Error())
+		}
+	}
 	m.tick++
 }
 
@@ -733,6 +772,17 @@ func (m *Machine) fold() {
 	m.run.UtilTotal.Append(minutes, (anon+file)/total)
 	m.run.UtilAnon.Append(minutes, anon/total)
 	m.run.UtilFile.Append(minutes, file/total)
+}
+
+// refreshLatMat rebuilds the access hot path's latency matrix from the
+// topology. Called once at assembly and again whenever a fault-plane
+// latency edge rescales a node.
+func (m *Machine) refreshLatMat() {
+	for i := 0; i < m.nNodes; i++ {
+		for j := 0; j < m.nNodes; j++ {
+			m.latMat[i*m.nNodes+j] = m.topo.AccessLatency(mem.NodeID(i), mem.NodeID(j))
+		}
+	}
 }
 
 // installProbes hands the probe plane to every engine that fires into
@@ -825,6 +875,9 @@ func (m *Machine) finish() {
 	if m.probes != nil {
 		m.run.LatencyHist = m.probes.Lat
 		m.run.PhaseProfile = m.probes.Prof
+	}
+	if m.faults != nil {
+		m.run.FaultLog = m.faults.log
 	}
 	// Per-node end-of-run accounting from the stats plane — populated
 	// for failed runs too, so a crash still shows where pages sat.

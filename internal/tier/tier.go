@@ -63,6 +63,15 @@ type Topology struct {
 	cpuDist       []int // distance[node][nearest CPU], the tiering metric
 	toNodeDist    []int // min over CPUs c of distance[c][node], the access metric
 	demoteTargets [][]mem.NodeID
+
+	// Fault-plane health state. All three stay nil until a fault first
+	// touches the machine, so healthy topologies pay only nil/zero
+	// checks and remain bit-identical to machines built before the
+	// plane existed.
+	offline       []bool
+	nOffline      int
+	healthyDemote [][]mem.NodeID // demoteTargets minus offline nodes, rebuilt on transitions
+	latScale      []float64      // per-node access-latency multiplier (1 = healthy)
 }
 
 // New assembles a topology. distance must be square with len(nodes) rows;
@@ -205,11 +214,91 @@ const RemoteAccessPenaltyNsPerDist = (RemoteSocketLatency - LocalDRAMLatencyNs) 
 // socket and this is exactly Traits(n).LoadLatency — including on
 // asymmetric distance matrices.
 func (t *Topology) AccessLatency(cpu, n mem.NodeID) float64 {
-	extra := t.distance[cpu][n] - t.toNodeDist[n]
-	if extra <= 0 {
-		return t.traits[n].LoadLatency
+	lat := t.traits[n].LoadLatency
+	if extra := t.distance[cpu][n] - t.toNodeDist[n]; extra > 0 {
+		lat += float64(extra) * RemoteAccessPenaltyNsPerDist
 	}
-	return t.traits[n].LoadLatency + float64(extra)*RemoteAccessPenaltyNsPerDist
+	if t.latScale != nil {
+		lat *= t.latScale[n]
+	}
+	return lat
+}
+
+// Online reports whether the node is in service. Nodes are online
+// unless the fault plane took them offline.
+func (t *Topology) Online(id mem.NodeID) bool {
+	return t.nOffline == 0 || !t.offline[id]
+}
+
+// AllOnline reports whether every node is in service.
+func (t *Topology) AllOnline() bool { return t.nOffline == 0 }
+
+// SetOffline transitions a node out of (or back into) service and
+// rebuilds the health-filtered demotion cascades. The caller (the
+// fault plane) is responsible for evacuating resident pages first.
+func (t *Topology) SetOffline(id mem.NodeID, off bool) {
+	if t.offline == nil {
+		if !off {
+			return
+		}
+		t.offline = make([]bool, len(t.nodes))
+	}
+	if t.offline[id] == off {
+		return
+	}
+	t.offline[id] = off
+	if off {
+		t.nOffline++
+	} else {
+		t.nOffline--
+	}
+	if t.nOffline == 0 {
+		t.healthyDemote = nil
+		return
+	}
+	t.healthyDemote = make([][]mem.NodeID, len(t.nodes))
+	for i, full := range t.demoteTargets {
+		kept := make([]mem.NodeID, 0, len(full))
+		for _, target := range full {
+			if !t.offline[target] {
+				kept = append(kept, target)
+			}
+		}
+		t.healthyDemote[i] = kept
+	}
+}
+
+// SetLatencyScale sets a node's fault-plane latency multiplier; 1 (or
+// any value <= 0) restores health. Scaled latency is visible to
+// AccessLatency; Traits and SetLatency stay unscaled.
+func (t *Topology) SetLatencyScale(id mem.NodeID, scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if t.latScale == nil {
+		if scale == 1 {
+			return
+		}
+		t.latScale = make([]float64, len(t.nodes))
+		for i := range t.latScale {
+			t.latScale[i] = 1
+		}
+	}
+	t.latScale[id] = scale
+}
+
+// LatencyScale returns the node's fault-plane latency multiplier.
+func (t *Topology) LatencyScale(id mem.NodeID) float64 {
+	if t.latScale == nil {
+		return 1
+	}
+	return t.latScale[id]
+}
+
+// Degraded reports whether the node is inside a latency-degradation
+// window. Promotion paths back off from degraded targets.
+func (t *Topology) Degraded(id mem.NodeID) bool {
+	return t.latScale != nil && t.latScale[id] > 1
 }
 
 // LocalNodes returns the IDs of CPU-attached nodes in ID order.
@@ -245,8 +334,12 @@ func (t *Topology) NumTiers() int { return t.numTiers }
 // strictly farther tier, nearest (by distance from the node) first — the
 // §5.1 rule ("the demotion target is chosen based on the node distances
 // from the CPU") generalized to N tiers. Empty for bottom-tier nodes.
+// Offline nodes are filtered out, so reclaim reroutes around them.
 // The slice is shared; callers must not mutate it.
 func (t *Topology) DemotionTargets(from mem.NodeID) []mem.NodeID {
+	if t.nOffline != 0 {
+		return t.healthyDemote[from]
+	}
 	return t.demoteTargets[from]
 }
 
@@ -254,7 +347,7 @@ func (t *Topology) DemotionTargets(from mem.NodeID) []mem.NodeID {
 // nearest node one or more tiers down. Returns mem.NilNode for
 // bottom-tier nodes (and on the all-local baseline).
 func (t *Topology) DemotionTarget(from mem.NodeID) mem.NodeID {
-	if ts := t.demoteTargets[from]; len(ts) > 0 {
+	if ts := t.DemotionTargets(from); len(ts) > 0 {
 		return ts[0]
 	}
 	return mem.NilNode
@@ -268,6 +361,9 @@ func (t *Topology) PromotionTarget() mem.NodeID {
 	best := mem.NilNode
 	var bestFree uint64
 	for _, id := range t.LocalNodes() {
+		if !t.Online(id) {
+			continue
+		}
 		if f := t.nodes[id].Free(); best == mem.NilNode || f > bestFree {
 			best, bestFree = id, f
 		}
@@ -302,7 +398,7 @@ func (t *Topology) PromotionTargetToward(home, from mem.NodeID) mem.NodeID {
 		return mem.NilNode
 	}
 	if home != mem.NilNode && home != from && int(home) < len(t.tiers) &&
-		t.tiers[home] == tier-1 && t.nodes[home].Free() > 0 {
+		t.tiers[home] == tier-1 && t.Online(home) && t.nodes[home].Free() > 0 {
 		return home
 	}
 	return t.bestOfTier(tier - 1)
@@ -314,7 +410,7 @@ func (t *Topology) bestOfTier(tier int) mem.NodeID {
 	best := mem.NilNode
 	var bestFree uint64
 	for i, n := range t.nodes {
-		if t.tiers[i] != tier {
+		if t.tiers[i] != tier || !t.Online(mem.NodeID(i)) {
 			continue
 		}
 		if f := n.Free(); best == mem.NilNode || f > bestFree {
@@ -324,11 +420,15 @@ func (t *Topology) bestOfTier(tier int) mem.NodeID {
 	return best
 }
 
-// FallbackOrder returns all node IDs ordered by distance from the given
-// node (self first) — the allocator's zonelist.
+// FallbackOrder returns all online node IDs ordered by distance from
+// the given node (self first) — the allocator's zonelist. Offline
+// nodes are excluded, so allocation reroutes around them.
 func (t *Topology) FallbackOrder(from mem.NodeID) []mem.NodeID {
 	out := make([]mem.NodeID, 0, len(t.nodes))
 	for i := range t.nodes {
+		if t.nOffline != 0 && t.offline[i] {
+			continue
+		}
 		out = append(out, mem.NodeID(i))
 	}
 	// Insertion sort by distance; node counts are tiny.
@@ -338,6 +438,17 @@ func (t *Topology) FallbackOrder(from mem.NodeID) []mem.NodeID {
 		}
 	}
 	return out
+}
+
+// DemoteScaleFactor returns the machine's demote_scale_factor —
+// recorded at build time, or the 0.02 default for hand-assembled
+// topologies. The fault plane uses it to rebuild watermarks after
+// capacity loss.
+func (t *Topology) DemoteScaleFactor() float64 {
+	if t.demoteSF == 0 {
+		return 0.02
+	}
+	return t.demoteSF
 }
 
 // TotalCapacity returns the machine's total memory in pages.

@@ -30,8 +30,18 @@
 //	                      then per node kind byte + capacity varint +
 //	                      latency float64 + bandwidth float64, then the
 //	                      row-major distance matrix as varints
+//	  faults     (v6+)    1 presence byte; when 1, the fault schedule the
+//	                      run was recorded with: seed varint, event count
+//	                      varint, then per event kind byte, node (zigzag
+//	                      varint; -1 = machine-wide), at varint, until
+//	                      varint, mult float64, jitter float64, prob
+//	                      float64, retries varint, pages varint — enough
+//	                      for a replay to rebuild and re-apply the
+//	                      identical schedule
 //
-// Version-1 traces carry no topology block and load as before.
+// Version-1 traces carry no topology block and load as before. Version
+// 5 is reserved for per-node free-page/watermark levels (a ROADMAP
+// carry-over); readers treat v5 streams exactly like v4.
 //
 //	event: 1 opcode byte + operands
 //	  OpMmap     (0x01)  start varint, pages varint, type byte,
@@ -52,6 +62,12 @@
 //	                     the series plane's level columns
 //	  OpStartEnd (0x06)  closes the Start (setup) section
 //	  OpEnd      (0x07)  closes the stream (v2+; written by Close)
+//	  OpFault    (0x08)  (v6+) one applied fault edge: kind byte, node
+//	                     zigzag varint, tick varint, arg float64,
+//	                     retries varint, pages varint. Informational —
+//	                     replays rebuild faults from the header schedule
+//	                     and skip these; they document when each edge
+//	                     actually fired
 //
 // The stream grammar is: start-section events, OpStartEnd, then per tick
 // any housekeeping events (mmap/munmap/touch), the tick's accesses, and
@@ -78,6 +94,7 @@ import (
 	"os"
 	"strings"
 
+	"tppsim/internal/fault"
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
@@ -93,9 +110,12 @@ const Magic = "TPPTRACE"
 // Version is the current trace-format version. Version 2 added the
 // optional topology block; version 3 added per-node vmstat counter
 // deltas to TickEnd events; version 4 added per-node residency levels
-// next to them (the series plane's level columns). Older traces still
-// load.
-const Version = 4
+// next to them (the series plane's level columns); version 5 is
+// reserved for per-node free-page/watermark levels (readers treat it
+// like v4); version 6 added the header fault-schedule block and
+// OpFault edge events, so replays reproduce faulted runs bit-
+// identically. Older traces still load.
+const Version = 6
 
 // Header carries the workload identity a trace was captured from: enough
 // for the Replayer to satisfy the workload.Workload interface and for a
@@ -111,6 +131,10 @@ type Header struct {
 	// a replay can rebuild the identical machine. The simulator fills it
 	// in when recording; synthetic generators leave it nil.
 	Topology *tier.Spec
+	// Faults, when non-nil, is the fault schedule the recorded run was
+	// injected with (v6+), so a replay can re-apply the identical
+	// faults. nil for faults-off runs and older traces.
+	Faults *fault.Schedule
 }
 
 // HeaderFor builds a Header describing the given workload.
@@ -137,6 +161,7 @@ const (
 	OpTickEnd
 	OpStartEnd
 	OpEnd
+	OpFault
 )
 
 // String returns the opcode mnemonic.
@@ -156,6 +181,8 @@ func (o Op) String() string {
 		return "startend"
 	case OpEnd:
 		return "end"
+	case OpFault:
+		return "fault"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -194,6 +221,10 @@ type Event struct {
 	// when the writer had no residency source). Like Deltas, it aliases
 	// reader-owned scratch.
 	Levels []series.Levels
+
+	// Fault carries an OpFault event's applied edge (v6+): the kind,
+	// target node, tick it fired, and the kind's scalar operands.
+	Fault fault.Edge
 }
 
 // Region returns the recorded region of an Mmap/Munmap event.
@@ -221,7 +252,99 @@ func encodeHeader(h Header) []byte {
 	if v >= 2 {
 		buf = appendTopology(buf, h.Topology)
 	}
+	if v >= 6 {
+		buf = appendFaults(buf, h.Faults)
+	}
 	return buf
+}
+
+// appendFaults renders the optional fault-schedule block (v6+).
+func appendFaults(buf []byte, s *fault.Schedule) []byte {
+	if s == nil || s.Empty() {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, s.Seed)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Events)))
+	for _, e := range s.Events {
+		buf = append(buf, byte(e.Kind))
+		buf = binary.AppendUvarint(buf, zigzag(int64(e.Node)))
+		buf = binary.AppendUvarint(buf, e.At)
+		buf = binary.AppendUvarint(buf, e.Until)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Mult))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Jitter))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Prob))
+		buf = binary.AppendUvarint(buf, uint64(e.MaxRetries))
+		buf = binary.AppendUvarint(buf, e.Pages)
+	}
+	return buf
+}
+
+// readFaults parses the fault-schedule block of a v6+ header.
+func readFaults(r byteStream) (*fault.Schedule, error) {
+	present, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading fault marker: %w", err)
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	if present != 1 {
+		return nil, fmt.Errorf("trace: bad fault marker %d", present)
+	}
+	var s fault.Schedule
+	if s.Seed, err = binary.ReadUvarint(r); err != nil {
+		return nil, fmt.Errorf("trace: reading fault seed: %w", err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading fault event count: %w", err)
+	}
+	if count > 4096 {
+		return nil, fmt.Errorf("trace: absurd fault event count %d", count)
+	}
+	s.Events = make([]fault.Event, count)
+	for i := range s.Events {
+		e := &s.Events[i]
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d kind: %w", i, err)
+		}
+		e.Kind = fault.Kind(kind)
+		node, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d node: %w", i, err)
+		}
+		e.Node = int(unzigzag(node))
+		if e.Node < -1 || e.Node > 127 {
+			return nil, fmt.Errorf("trace: fault %d has bad node %d", i, e.Node)
+		}
+		if e.At, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d tick: %w", i, err)
+		}
+		if e.Until, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d until: %w", i, err)
+		}
+		var f [24]byte
+		if _, err := io.ReadFull(r, f[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d operands: %w", i, err)
+		}
+		e.Mult = math.Float64frombits(binary.LittleEndian.Uint64(f[0:8]))
+		e.Jitter = math.Float64frombits(binary.LittleEndian.Uint64(f[8:16]))
+		e.Prob = math.Float64frombits(binary.LittleEndian.Uint64(f[16:24]))
+		retries, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d retries: %w", i, err)
+		}
+		if retries > 1<<20 {
+			return nil, fmt.Errorf("trace: fault %d has absurd retry bound %d", i, retries)
+		}
+		e.MaxRetries = int(retries)
+		if e.Pages, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("trace: reading fault %d pages: %w", i, err)
+		}
+	}
+	return &s, nil
 }
 
 // appendTopology renders the optional topology block. Only resolved
@@ -373,6 +496,11 @@ func readHeader(r byteStream) (Header, error) {
 	}
 	if h.Version >= 2 {
 		if h.Topology, err = readTopology(r); err != nil {
+			return Header{}, err
+		}
+	}
+	if h.Version >= 6 {
+		if h.Faults, err = readFaults(r); err != nil {
 			return Header{}, err
 		}
 	}
@@ -537,6 +665,20 @@ func (w *Writer) WriteEvent(e Event) {
 				}
 			}
 		}
+	case OpFault:
+		if w.version < 6 {
+			if w.err == nil {
+				w.err = fmt.Errorf("trace: fault events need format v6+ (writer is v%d)", w.version)
+			}
+			break
+		}
+		w.writeByte(byte(e.Fault.Kind))
+		w.uvarint(zigzag(int64(e.Fault.Node)))
+		w.uvarint(e.Fault.Tick)
+		w.scratch = binary.LittleEndian.AppendUint64(w.scratch[:0], math.Float64bits(e.Fault.Arg))
+		w.write(w.scratch)
+		w.uvarint(uint64(e.Fault.MaxRetries))
+		w.uvarint(e.Fault.Pages)
 	case OpStartEnd, OpEnd:
 		// no operands
 	default:
@@ -546,6 +688,9 @@ func (w *Writer) WriteEvent(e Event) {
 	}
 	w.events++
 }
+
+// Fault records one applied fault edge (v6+ writers).
+func (w *Writer) Fault(edge fault.Edge) { w.WriteEvent(Event{Op: OpFault, Fault: edge}) }
 
 // Mmap records a region creation with its dirty-at-fault probability.
 func (w *Writer) Mmap(r pagetable.Region, dirtyProb float64) {
@@ -623,12 +768,34 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
+// countingStream wraps a byteStream and counts consumed bytes, so
+// decode errors can name the exact offset they tripped on.
+type countingStream struct {
+	s byteStream
+	n int64
+}
+
+func (c *countingStream) Read(p []byte) (int, error) {
+	n, err := c.s.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingStream) ReadByte() (byte, error) {
+	b, err := c.s.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
 // Reader streams events back out of a trace. Next returns io.EOF at a
 // clean end of stream.
 type Reader struct {
-	br   byteStream
-	h    Header
-	prev pagetable.VPN
+	br    *countingStream
+	h     Header
+	prev  pagetable.VPN
+	ticks uint64 // TickEnds consumed, for error context
 	// deltaScratch and levelScratch back TickEnd events' Deltas and
 	// Levels slices, reused across Next calls.
 	deltaScratch []NodeCounterDelta
@@ -643,21 +810,37 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if !ok {
 		bs = bufio.NewReaderSize(r, 1<<16)
 	}
-	h, err := readHeader(bs)
+	cs := &countingStream{s: bs}
+	h, err := readHeader(cs)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{br: bs, h: h}, nil
+	return &Reader{br: cs, h: h}, nil
 }
 
 // Header returns the trace header.
 func (r *Reader) Header() Header { return r.h }
 
 // Next decodes the next event. It returns io.EOF at the end of the
-// stream; any other error means the trace is malformed. Version-2
-// streams end with an explicit OpEnd marker, so running out of bytes
-// without one is reported as truncation, not a clean end.
+// stream; any other error means the trace is malformed and names the
+// byte offset and tick it tripped on. Version-2+ streams end with an
+// explicit OpEnd marker, so running out of bytes without one is
+// reported as truncation, not a clean end — including mid-event and
+// mid-tick cuts.
 func (r *Reader) Next() (Event, error) {
+	e, err := r.next()
+	switch {
+	case err == nil:
+		if e.Op == OpTickEnd {
+			r.ticks++
+		}
+	case err != io.EOF:
+		err = fmt.Errorf("%w (byte offset %d, tick %d)", err, r.br.n, r.ticks)
+	}
+	return e, err
+}
+
+func (r *Reader) next() (Event, error) {
 	op, err := r.br.ReadByte()
 	if err == io.EOF {
 		if r.h.Version >= 2 {
@@ -766,6 +949,42 @@ func (r *Reader) Next() (Event, error) {
 				}
 			}
 		}
+	case OpFault:
+		if r.h.Version < 6 {
+			return Event{}, fmt.Errorf("trace: fault event in v%d stream (need v6+)", r.h.Version)
+		}
+		kind, err := r.br.ReadByte()
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: fault kind: %w", err)
+		}
+		e.Fault.Kind = fault.Kind(kind)
+		node, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: fault node: %w", err)
+		}
+		e.Fault.Node = int(unzigzag(node))
+		if e.Fault.Node < -1 || e.Fault.Node > 127 {
+			return Event{}, fmt.Errorf("trace: fault event has bad node %d", e.Fault.Node)
+		}
+		if e.Fault.Tick, err = binary.ReadUvarint(r.br); err != nil {
+			return Event{}, fmt.Errorf("trace: fault tick: %w", err)
+		}
+		var f [8]byte
+		if _, err := io.ReadFull(r.br, f[:]); err != nil {
+			return Event{}, fmt.Errorf("trace: fault arg: %w", err)
+		}
+		e.Fault.Arg = math.Float64frombits(binary.LittleEndian.Uint64(f[:]))
+		retries, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: fault retries: %w", err)
+		}
+		if retries > 1<<20 {
+			return Event{}, fmt.Errorf("trace: fault event has absurd retry bound %d", retries)
+		}
+		e.Fault.MaxRetries = int(retries)
+		if e.Fault.Pages, err = binary.ReadUvarint(r.br); err != nil {
+			return Event{}, fmt.Errorf("trace: fault pages: %w", err)
+		}
 	case OpStartEnd:
 		// no operands
 	default:
@@ -851,8 +1070,10 @@ func (t *Trace) Save(path string) error {
 }
 
 // Events returns a fresh streaming cursor over the trace's events.
+// Byte offsets in its errors count from the start of the event stream
+// (the header is not part of a cursor's view).
 func (t *Trace) Events() *Reader {
-	return &Reader{br: bytes.NewReader(t.data), h: t.Header}
+	return &Reader{br: &countingStream{s: bytes.NewReader(t.data)}, h: t.Header}
 }
 
 // Size returns the encoded event-stream size in bytes.

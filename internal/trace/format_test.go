@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tppsim/internal/mem"
@@ -363,6 +364,48 @@ func TestTruncationAlwaysDetected(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+// TestTruncationErrorNamesOffsetAndTick pins the diagnostic contract
+// for malformed streams: the error from Next names the byte offset (in
+// the cursor's view of the event stream) and the tick it tripped on, so
+// a corrupt artifact can be located without a hex dump.
+func TestTruncationErrorNamesOffsetAndTick(t *testing.T) {
+	events := []Event{
+		{Op: OpMmap, Start: 0, Pages: 4096, Type: mem.Anon, Dirty: 0.5},
+		{Op: OpStartEnd},
+		{Op: OpAccess, VPN: 7},
+		{Op: OpTickEnd},
+		{Op: OpAccess, VPN: 9},
+		{Op: OpTickEnd},
+		// A multi-byte final event, so dropping the stream's tail cuts
+		// mid-event after exactly two complete ticks.
+		{Op: OpMmap, Start: 1 << 30, Pages: 1 << 20, Type: mem.File, Dirty: 0.25},
+	}
+	raw := writeStream(t, testHeader(), events)
+	tr, err := Decode(raw[:len(raw)-9]) // cut inside the trailing mmap
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tr.Events()
+	var decodeErr error
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("truncated stream read cleanly to EOF")
+		}
+		if err != nil {
+			decodeErr = err
+			break
+		}
+	}
+	msg := decodeErr.Error()
+	if !strings.Contains(msg, "byte offset ") {
+		t.Errorf("error %q does not name the byte offset", msg)
+	}
+	if !strings.Contains(msg, "tick 2)") {
+		t.Errorf("error %q does not name tick 2 (the last complete tick)", msg)
 	}
 }
 

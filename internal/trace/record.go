@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"tppsim/internal/fault"
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/pagetable"
@@ -125,6 +126,11 @@ func (r *Recorder) writeTickEnd() {
 	r.w.TickEndDeltas(r.deltas, r.levels)
 	r.prev = append(r.prev[:0], r.cur...)
 }
+
+// Fault records one applied fault edge into the stream (v6). The sim's
+// fault driver calls this as edges fire; position inside the tick is
+// informational (replays rebuild faults from the header schedule).
+func (r *Recorder) Fault(edge fault.Edge) { r.w.Fault(edge) }
 
 // NextAccess implements workload.Workload, recording each drawn access.
 func (r *Recorder) NextAccess(ctx workload.Ctx, tick uint64) (pagetable.VPN, bool) {

@@ -382,6 +382,9 @@ func (r *Replayer) apply(ctx workload.Ctx, e Event) {
 			return
 		}
 		ctx.Touch(v)
+	case OpFault:
+		// Informational (v6): the replaying machine rebuilds faults from
+		// the header schedule; stream edges just document when each fired.
 	default:
 		r.fail(fmt.Errorf("trace: unexpected %s in housekeeping position", e.Op))
 	}

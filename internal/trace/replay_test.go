@@ -220,6 +220,11 @@ func TestCorruptTraceFailsRun(t *testing.T) {
 	if rp.Err() == nil {
 		t.Fatal("replayer reported no error")
 	}
+	// The diagnostic must locate the damage: mid-stream truncation names
+	// the byte offset and tick it tripped on.
+	if msg := rp.Err().Error(); !strings.Contains(msg, "byte offset ") || !strings.Contains(msg, "tick ") {
+		t.Errorf("truncation error %q does not name byte offset and tick", msg)
+	}
 }
 
 // TestGeneratorsTinyWorkingSet guards the percentage-sizing edge: every

@@ -34,7 +34,11 @@
 //   - pswpout/pswpin/pgmajfault: the node the page left or faults back
 //     into;
 //   - pgmigrate_success: the destination node; pgmigrate_fail: the
-//     source node.
+//     source node;
+//   - node_offline_events and evacuated_pages: the node going offline
+//     (or shrinking) — the source the pages were evacuated from;
+//   - migrate_retry and migrate_backoff_drop: the migration source,
+//     matching pgmigrate_fail.
 package vmstat
 
 import (
@@ -107,6 +111,13 @@ const (
 	PgdemoteFar
 	PgpromoteFar
 
+	// Fault plane (simulator extension): injected failures and the
+	// machine's recovery work. Zero on healthy runs.
+	NodeOfflineEvents  // node offline transitions (hotplug/link-down)
+	MigrateRetry       // migration re-attempts after backoff expiry
+	MigrateBackoffDrop // pages dropped after exhausting migration retries
+	EvacuatedPages     // pages emergency-moved off an offlining/shrinking node
+
 	numCounters
 )
 
@@ -160,6 +171,11 @@ var names = [NumCounters]string{
 
 	PgdemoteFar:  "pgdemote_far",
 	PgpromoteFar: "pgpromote_far",
+
+	NodeOfflineEvents:  "node_offline_events",
+	MigrateRetry:       "migrate_retry",
+	MigrateBackoffDrop: "migrate_backoff_drop",
+	EvacuatedPages:     "evacuated_pages",
 }
 
 // String returns the counter's /proc/vmstat-style name.
