@@ -1,5 +1,7 @@
 package tppsim
 
+import "tppsim/internal/tracker"
+
 // SimTickBenchConfig is the canonical core-loop benchmark setup shared
 // by BenchmarkSimTick (bench_test.go) and cmd/bench, which commits its
 // result as BENCH_simtick.json. Keeping one definition means the CI
@@ -34,6 +36,19 @@ func SimTickBenchProbedConfig() MachineConfig {
 	cfg := SimTickBenchConfig()
 	cfg.ProbeLatency = true
 	cfg.ProbePhases = true
+	return cfg
+}
+
+// SimTickBenchTrackedConfig is SimTickBenchConfig with the sampled
+// access-tracking plane on at idlepage defaults — every access runs the
+// per-access hook and every scan window walks the accessed-bit map into
+// the heatmap (oracle off: it is a test instrument, not part of the
+// plane's steady-state cost). cmd/bench -check pins its ns/op within
+// 10% of the tracker-off run with zero alloc growth, the tracker
+// plane's analogue of the sampling and probe gates.
+func SimTickBenchTrackedConfig() MachineConfig {
+	cfg := SimTickBenchConfig()
+	cfg.Tracker = tracker.Config{Kind: "idlepage"}
 	return cfg
 }
 

@@ -76,6 +76,14 @@ func BenchmarkSimTickProbed(b *testing.B) {
 	benchSimTick(b, SimTickBenchProbedConfig())
 }
 
+// BenchmarkSimTickTracked is the same machine with the sampled
+// access-tracking plane on at idlepage defaults (per-access hook plus
+// periodic scan-and-clear); cmd/bench -check holds it within 10% of
+// BenchmarkSimTick with zero alloc growth.
+func BenchmarkSimTickTracked(b *testing.B) {
+	benchSimTick(b, SimTickBenchTrackedConfig())
+}
+
 func benchSimTick(b *testing.B, cfg MachineConfig) {
 	m, err := NewMachine(cfg)
 	if err != nil {

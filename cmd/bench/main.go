@@ -1,6 +1,7 @@
 // Command bench runs the simulator's core-loop benchmarks (the same
 // machines and warm-up as BenchmarkSimTick / BenchmarkSimTickSampled /
-// BenchmarkSimTickProbed in bench_test.go) and writes the results to
+// BenchmarkSimTickProbed / BenchmarkSimTickTracked in bench_test.go)
+// and writes the results to
 // BENCH_simtick.json, the
 // repo's performance-trajectory artifact. Run it from the repo root
 // after perf-relevant changes:
@@ -18,7 +19,10 @@
 //     the same process, so it is hardware-independent;
 //   - probes-on (latency histograms + phase profiler) ns/op exceeds the
 //     probe-off run by more than -probed-tolerance (default 10%), or
-//     its allocs/op grew at all.
+//     its allocs/op grew at all;
+//   - tracker-on (idlepage sampled tracking) ns/op exceeds the
+//     tracker-off run by more than -tracked-tolerance (default 10%),
+//     or its allocs/op grew at all.
 //
 // Checking does not overwrite the baseline; refresh it with a plain run
 // when a slowdown is intentional and explained.
@@ -46,6 +50,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed ns/op regression fraction for -check")
 	sampledTol := flag.Float64("sampled-tolerance", 0.10, "allowed sampling-on overhead fraction vs sampling-off for -check")
 	probedTol := flag.Float64("probed-tolerance", 0.10, "allowed probes-on overhead fraction vs probes-off for -check")
+	trackedTol := flag.Float64("tracked-tolerance", 0.10, "allowed tracker-on overhead fraction vs tracker-off for -check")
 	cpuProf := flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
 	memProf := flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 	flag.Parse()
@@ -87,6 +92,8 @@ func main() {
 	nsSampled := nsOf(resSampled)
 	resProbed := bench(tppsim.SimTickBenchProbedConfig())
 	nsProbed := nsOf(resProbed)
+	resTracked := bench(tppsim.SimTickBenchTrackedConfig())
+	nsTracked := nsOf(resTracked)
 
 	if *check {
 		raw, err := os.ReadFile(*baseline)
@@ -115,12 +122,15 @@ func main() {
 		ratio := nsPerOp / base.NsPerOp
 		sampledRatio := nsSampled / nsPerOp
 		probedRatio := nsProbed / nsPerOp
+		trackedRatio := nsTracked / nsPerOp
 		fmt.Printf("SimTick: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%); %d allocs/op vs %d\n",
 			nsPerOp, base.NsPerOp, 100*(ratio-1), 100**tolerance, res.AllocsPerOp(), base.AllocsPerOp)
 		fmt.Printf("SimTickSampled: %.0f ns/op (%+.1f%% vs sampling off, tolerance %.0f%%); %d allocs/op\n",
 			nsSampled, 100*(sampledRatio-1), 100**sampledTol, resSampled.AllocsPerOp())
 		fmt.Printf("SimTickProbed: %.0f ns/op (%+.1f%% vs probes off, tolerance %.0f%%); %d allocs/op\n",
 			nsProbed, 100*(probedRatio-1), 100**probedTol, resProbed.AllocsPerOp())
+		fmt.Printf("SimTickTracked: %.0f ns/op (%+.1f%% vs tracker off, tolerance %.0f%%); %d allocs/op\n",
+			nsTracked, 100*(trackedRatio-1), 100**trackedTol, resTracked.AllocsPerOp())
 		failed := false
 		if ratio > 1+*tolerance {
 			// Persistently over tolerance: either a real regression or a
@@ -175,6 +185,26 @@ func main() {
 				res.AllocsPerOp(), resProbed.AllocsPerOp())
 			failed = true
 		}
+		if trackedRatio > 1+*trackedTol {
+			// Re-measure the pair once before failing, same noise logic.
+			off, on := bench(tppsim.SimTickBenchConfig()), bench(tppsim.SimTickBenchTrackedConfig())
+			if r := nsOf(on) / nsOf(off); r < trackedRatio {
+				trackedRatio = r
+			}
+		}
+		if trackedRatio > 1+*trackedTol {
+			fmt.Fprintf(os.Stderr, "bench: tracking costs %+.1f%% ns/op over tracker-off (limit %.0f%%)\n",
+				100*(trackedRatio-1), 100**trackedTol)
+			failed = true
+		}
+		// The tracker's bitmap, heatmap, and mover scratch are all
+		// preallocated at plane build: tracking must not add
+		// steady-state allocations.
+		if resTracked.AllocsPerOp() > res.AllocsPerOp() {
+			fmt.Fprintf(os.Stderr, "bench: tracking grew allocs/op %d -> %d\n",
+				res.AllocsPerOp(), resTracked.AllocsPerOp())
+			failed = true
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -191,6 +221,8 @@ func main() {
 		"sampled_allocs_per_op": resSampled.AllocsPerOp(),
 		"probed_ns_per_op":      nsProbed,
 		"probed_allocs_per_op":  resProbed.AllocsPerOp(),
+		"tracked_ns_per_op":     nsTracked,
+		"tracked_allocs_per_op": resTracked.AllocsPerOp(),
 		"goos":                  runtime.GOOS,
 		"goarch":                runtime.GOARCH,
 		"go_version":            runtime.Version(),
@@ -205,7 +237,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op -> %s\n",
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op; tracked %.0f ns/op, %d allocs/op -> %s\n",
 		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N,
-		nsSampled, resSampled.AllocsPerOp(), nsProbed, resProbed.AllocsPerOp(), *out)
+		nsSampled, resSampled.AllocsPerOp(), nsProbed, resProbed.AllocsPerOp(),
+		nsTracked, resTracked.AllocsPerOp(), *out)
 }

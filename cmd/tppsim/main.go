@@ -41,6 +41,18 @@
 //	tppsim -workload Web1 -policy tpp -latency
 //	tppsim -workload Web1 -policy all -phase-profile -cpuprofile cpu.pb.gz
 //
+// Sampled tracking: -tracker attaches a sampled access tracker
+// (idlepage, softdirty, or damon; internal/tracker spec syntax) whose
+// heatmap is reported after the run; oracle=1 scores it against exact
+// access counts. The sampled policy drives all placement from the
+// tracker alone. -policies and -trackers enumerate what is available:
+//
+//	tppsim -workload Web1 -policy tpp -tracker "idlepage:scan=8,oracle=1"
+//	tppsim -workload Cache2 -policy sampled -topology expander -nodes
+//	tppsim -workload Cache2 -policy sampled -tracker "damon:regions=256" -vmstat
+//	tppsim -policies
+//	tppsim -trackers
+//
 // Fault injection: -faults takes a deterministic failure schedule
 // (internal/fault syntax) and prints the fault timeline after the run.
 // Recording a faulted run stores the schedule in the trace header (v6),
@@ -67,13 +79,14 @@ import (
 	"tppsim/internal/sim"
 	"tppsim/internal/tier"
 	"tppsim/internal/trace"
+	"tppsim/internal/tracker"
 	"tppsim/internal/workload"
 )
 
 func main() {
 	var (
 		wlName   = flag.String("workload", "Cache1", "workload: "+strings.Join(workload.Names(), ", "))
-		policy   = flag.String("policy", "tpp", "policy: default, tpp, numab, autotiering, tmo, tpp+tmo, all")
+		policy   = flag.String("policy", "tpp", "policy: "+strings.Join(policyKeys(), ", ")+", all")
 		ratio    = flag.String("ratio", "2:1", "local:CXL capacity ratio, or 1:0 for the all-local baseline")
 		topoName = flag.String("topology", "", "machine topology preset: "+strings.Join(tier.PresetNames(), ", ")+
 			" (default: the 2-node cxl box sized by -ratio)")
@@ -92,6 +105,9 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 		list     = flag.Bool("list", false, "list catalog workloads and exit")
+		listPol  = flag.Bool("policies", false, "list selectable policies with descriptions and exit")
+		listTrk  = flag.Bool("trackers", false, "list tracker kinds with descriptions and exit")
+		trkSpec  = flag.String("tracker", "", "sampled access tracker, e.g. \"idlepage:scan=8,oracle=1\" or \"damon:regions=256\" (see internal/tracker; kinds: "+strings.Join(tracker.KindNames(), ", ")+")")
 		faultsFl = flag.String("faults", "", "fault-injection schedule, e.g. \"offline:node=1,at=600,until=1200;migfail:prob=0.2,at=100;seed=42\" (see internal/fault)")
 		recordTo = flag.String("record", "", "record the access trace to FILE (.gz compresses; single policy only)")
 		replayF  = flag.String("replay", "", "replay a trace FILE instead of running a catalog workload")
@@ -139,6 +155,25 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+	if *listPol {
+		for _, n := range core.Registry() {
+			fmt.Printf("%-12s %s\n", n.Key, n.Description)
+		}
+		fmt.Printf("%-12s %s\n", "all", "the Table 1 set: default, tpp, numab, autotiering")
+		return
+	}
+	if *listTrk {
+		for _, k := range tracker.KindNames() {
+			fmt.Printf("%-10s %s\n", k, tracker.Describe(k))
+		}
+		return
+	}
+
+	trkCfg, err := tracker.ParseSpec(*trkSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var r0, r1 uint64
@@ -221,6 +256,15 @@ func main() {
 			faults = *h.Faults
 			fmt.Printf("  faults from trace: %s\n", faults.Spec())
 		}
+		if *trkSpec == "" && h.Tracker != "" {
+			// A v7 trace carries the recorded run's tracker spec: rebuild
+			// the same observation plane unless -tracker overrides it.
+			if trkCfg, err = tracker.ParseSpec(h.Tracker); err != nil {
+				fmt.Fprintf(os.Stderr, "trace tracker spec: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  tracker from trace: %s\n", h.Tracker)
+		}
 		if !set["minutes"] && uint64(*minutes) > traceMin {
 			// Without an explicit -minutes, replay exactly the trace.
 			*minutes = int(traceMin)
@@ -246,6 +290,7 @@ func main() {
 			ProbeLatency:     *latency,
 			ProbePhases:      *phaseFl,
 			Faults:           faults,
+			Tracker:          trkCfg,
 		}
 		if len(topo.Nodes) > 0 {
 			cfg.Topology = topo
@@ -273,6 +318,10 @@ func main() {
 		}
 		if ft := report.FaultTimeline(res); ft != nil {
 			fmt.Print(ft.String())
+		}
+		if ts := report.TrackerSummary(res); ts != nil {
+			fmt.Print(ts.String())
+			fmt.Print(report.TrackerHeatPanel(res, 60))
 		}
 		if *vmstatFl {
 			st := m.Stat()
@@ -385,26 +434,27 @@ func runTraceStats(path, diffPath string, sampleEvery int, printPanel bool, csvP
 	return nil
 }
 
+// policyKeys returns the registry keys for the -policy usage line.
+func policyKeys() []string {
+	reg := core.Registry()
+	keys := make([]string, len(reg))
+	for i, n := range reg {
+		keys[i] = n.Key
+	}
+	return keys
+}
+
 func selectPolicies(name string) ([]core.Policy, error) {
-	switch strings.ToLower(name) {
-	case "default":
-		return []core.Policy{core.DefaultLinux()}, nil
-	case "tpp":
-		return []core.Policy{core.TPP()}, nil
-	case "numab":
-		return []core.Policy{core.NUMABalancing()}, nil
-	case "autotiering":
-		return []core.Policy{core.AutoTiering()}, nil
-	case "tmo":
-		return []core.Policy{core.TMOOnly()}, nil
-	case "tpp+tmo":
-		return []core.Policy{core.TPP(core.WithTMO())}, nil
-	case "tpp+pta":
-		return []core.Policy{core.TPP(core.WithPageTypeAware())}, nil
-	case "all":
+	name = strings.ToLower(name)
+	if name == "all" {
 		return core.All(), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q", name)
+	for _, n := range core.Registry() {
+		if n.Key == name {
+			return []core.Policy{n.New()}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q (have %s, all)", name, strings.Join(policyKeys(), ", "))
 }
 
 func indent(s string) string {

@@ -19,6 +19,7 @@ import (
 	"tppsim/internal/numab"
 	"tppsim/internal/reclaim"
 	"tppsim/internal/tmo"
+	"tppsim/internal/tracker"
 )
 
 // Policy is a complete placement-policy configuration for one run.
@@ -38,6 +39,12 @@ type Policy struct {
 	// TMO, when non-nil, runs the TMO controller; it requires a swap
 	// device on the machine.
 	TMO *tmo.Config
+	// Sampled, when non-nil, makes this a sampled-tracking policy: page
+	// movement is driven solely by the tracker plane's heatmap (heat
+	// classification plus the rate-limited mover), never by ground-truth
+	// page state. The machine builds a tracker plane automatically
+	// (idlepage unless sim.Config.Tracker chooses another kind).
+	Sampled *tracker.PolicyConfig
 	// NeedSwap requests a zswap device even if the policy does not
 	// strictly require one.
 	NeedSwap bool
@@ -171,7 +178,54 @@ func TMOOnly() Policy {
 	}
 }
 
+// Sampled returns the sampled-tracking policy family: stock-kernel
+// allocation and watermark reclaim as the safety net (no NUMA
+// balancing, no hint faults), with all deliberate placement driven by
+// the tracker plane — hot ranges promoted and cold ranges demoted by
+// the rate-limited mover, classified from tracker counters alone. It
+// is the machine's model of a userspace tiering daemon (memtierd):
+// everything it knows about page heat passed through a sampled,
+// imperfect tracker.
+func Sampled(opts ...Option) Policy {
+	p := Policy{
+		Name:    "Sampled",
+		Alloc:   alloc.Config{},
+		Reclaim: reclaim.Config{},
+		NUMAB:   numab.Config{},
+		Migrate: migrate.Config{WatermarkGuard: true},
+		Sampled: &tracker.PolicyConfig{},
+	}
+	for _, o := range opts {
+		o(&p)
+	}
+	return p
+}
+
 // All returns the named policies of Table 1 in presentation order.
 func All() []Policy {
 	return []Policy{DefaultLinux(), TPP(), NUMABalancing(), AutoTiering()}
+}
+
+// Named is a registry entry: a policy key as accepted on command lines,
+// a one-line description, and its constructor.
+type Named struct {
+	Key         string
+	Description string
+	New         func() Policy
+}
+
+// Registry enumerates the selectable policy configurations in
+// presentation order — the single source for -policy parsing and
+// -policies listings.
+func Registry() []Named {
+	return []Named{
+		{"default", "stock kernel: local-first allocation, watermark reclaim, no balancing", DefaultLinux},
+		{"tpp", "the paper's mechanism: demotion, decoupled watermarks, filtered CXL promotion", func() Policy { return TPP() }},
+		{"numab", "default Linux plus classic AutoNUMA sampling and instant promotion", NUMABalancing},
+		{"autotiering", "frequency-ranked background demotion with buffered promotion (§6.3)", AutoTiering},
+		{"tmo", "TMO offloading over default Linux with CXL as a swap-backed tier", TMOOnly},
+		{"tpp+tmo", "TPP with the TMO controller layered in two-stage mode", func() Policy { return TPP(WithTMO()) }},
+		{"tpp+pta", "TPP with page-type-aware allocation (§5.4)", func() Policy { return TPP(WithPageTypeAware()) }},
+		{"sampled", "tracker-driven daemon: heatmap classification and a rate-limited mover, no ground truth", func() Policy { return Sampled() }},
+	}
 }

@@ -96,6 +96,7 @@ func Registry() []Spec {
 		{"MT3", "Dual-socket residency/flows over time (series plane)", MT3},
 		{"MT4", "Access-latency CDFs per policy across topologies (probe plane)", MT4},
 		{"MT5", "Policy resilience under injected faults (fault plane)", MT5},
+		{"MT6", "Sampled trackers: overhead vs accuracy vs throughput (tracker plane)", MT6},
 	}
 }
 

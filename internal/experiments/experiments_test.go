@@ -13,8 +13,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 		}
 		seen[s.ID] = true
 	}
-	if len(seen) != 27 {
-		t.Fatalf("registry has %d experiments, want 27", len(seen))
+	if len(seen) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(seen))
 	}
 }
 

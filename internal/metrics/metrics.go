@@ -25,6 +25,7 @@ import (
 	"tppsim/internal/fault"
 	"tppsim/internal/probe"
 	"tppsim/internal/series"
+	"tppsim/internal/tracker"
 	"tppsim/internal/vmstat"
 )
 
@@ -220,6 +221,11 @@ type Run struct {
 	// FaultLog lists every fault edge the fault plane applied during
 	// the run, in application order. Empty for faults-off runs.
 	FaultLog []fault.Occurrence
+	// Tracker is the sampled-tracking plane's end-of-run summary —
+	// overhead (scanned pages/tick), region adaptation, mover volume,
+	// and, when the oracle ran, hot-set precision/recall against exact
+	// access counts. Nil for tracker-off runs.
+	Tracker *tracker.RunStats
 }
 
 // NodeResult is one memory node's end-of-run accounting: identity,

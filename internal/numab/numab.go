@@ -29,6 +29,7 @@ import (
 	"tppsim/internal/migrate"
 	"tppsim/internal/pagetable"
 	"tppsim/internal/tier"
+	"tppsim/internal/tracker"
 	"tppsim/internal/vmstat"
 )
 
@@ -177,6 +178,43 @@ func (b *Balancer) scan() float64 {
 		spent += perPageNs
 	}
 	return spent
+}
+
+// HintTracker is the balancer seen as one tracker among several
+// (tracker.Tracker): hint-fault sampling is just another sampled
+// access-tracking mechanism, with the scan as its Tick and the hint
+// faults themselves as its observations. The view is an adapter over
+// the existing behavior — driving the balancer through it performs
+// exactly the calls the simulator always made, so numab-driven runs
+// stay bit-identical. The balancer's signal feeds promotions directly
+// rather than a heatmap, so the view ignores the fold target.
+type HintTracker struct {
+	b *Balancer
+}
+
+var _ tracker.Tracker = (*HintTracker)(nil)
+
+// Tracker returns the balancer's tracker.Tracker view.
+func (b *Balancer) Tracker() *HintTracker { return &HintTracker{b: b} }
+
+// Name returns the tracker kind.
+func (t *HintTracker) Name() string { return "numab" }
+
+// Start is a no-op: the balancer is already bound to its machine.
+func (t *HintTracker) Start(tracker.Env) error { return nil }
+
+// Stop is a no-op.
+func (t *HintTracker) Stop() {}
+
+// OnAccess observes one access, discarding the promotion outcome (the
+// simulator's hot path calls Balancer.OnAccess directly when it needs
+// the charged latency).
+func (t *HintTracker) OnAccess(pfn mem.PFN, pg *mem.Page) { t.b.OnAccess(pfn, pg) }
+
+// Tick advances the scan clock; a scan that consumed CPU counts as a
+// fold. Hint-fault counts reach the stats plane, not the heatmap.
+func (t *HintTracker) Tick(tick uint64, hm *tracker.Heatmap) bool {
+	return t.b.Tick() != 0
 }
 
 // AccessOutcome describes what happened on one memory access from the

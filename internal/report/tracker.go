@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+
+	"tppsim/internal/metrics"
+)
+
+// TrackerSummary renders the sampled-tracking plane's end-of-run
+// numbers — which tracker ran, what the scans cost, how the regions
+// adapted, what the mover shipped, and (when the oracle ran) hot-set
+// precision/recall against ground truth. Returns nil for tracker-off
+// runs.
+func TrackerSummary(r *metrics.Run) *Table {
+	ts := r.Tracker
+	if ts == nil {
+		return nil
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Tracker — %s/%s", r.Workload, r.Policy),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("tracker", ts.Spec)
+	t.AddRow("scans", fmt.Sprintf("%d (every %d ticks)", ts.Scans, ts.ScanEveryTicks))
+	t.AddRow("pages scanned", fmt.Sprintf("%d (%.1f/tick)", ts.PagesScanned, ts.ScannedPerTick))
+	if ts.Kind == "damon" {
+		t.AddRow("regions split/merged", fmt.Sprintf("%d / %d", ts.RegionsSplit, ts.RegionsMerged))
+	}
+	t.AddRow("mover moved", fmt.Sprintf("%d", ts.MoverMoved))
+	t.AddRow("mover deferred", fmt.Sprintf("%d", ts.MoverDeferred))
+	t.AddRow("ranges hot/warm/cold", fmt.Sprintf("%d / %d / %d (%d pages each)",
+		ts.HotRanges, ts.WarmRanges, ts.ColdRanges, ts.RangePages))
+	if ts.OracleEvals > 0 {
+		t.AddRow("oracle precision", Pct(ts.Precision))
+		t.AddRow("oracle recall", Pct(ts.Recall))
+		t.AddNote("precision/recall are means over %d scan windows vs exact access counts", ts.OracleEvals)
+	}
+	return t
+}
+
+// TrackerHeatPanel renders the final heatmap as a sparkline over the
+// PFN space — the tracker's closing belief about where the heat is.
+// Returns "" for tracker-off runs.
+func TrackerHeatPanel(r *metrics.Run, width int) string {
+	ts := r.Tracker
+	if ts == nil || len(ts.Heat) == 0 {
+		return ""
+	}
+	lo, hi := ts.Heat[0], ts.Heat[0]
+	for _, h := range ts.Heat {
+		if h < lo {
+			lo = h
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return fmt.Sprintf("heatmap over PFN space (%d ranges × %d pages, heat %.1f..%.1f)\n  %s\n",
+		len(ts.Heat), ts.RangePages, lo, hi, Sparkline(ts.Heat, width))
+}

@@ -8,6 +8,7 @@ import (
 	"tppsim/internal/mem"
 	"tppsim/internal/metrics"
 	"tppsim/internal/tier"
+	"tppsim/internal/tracker"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 	"tppsim/internal/xrand"
@@ -25,14 +26,20 @@ func TestNodeSumsMatchGlobalRandomized(t *testing.T) {
 		core.DefaultLinux,
 		core.NUMABalancing,
 		func() core.Policy { return core.TPP(core.WithTMO()) },
+		func() core.Policy { return core.Sampled() },
 	}
 	workloads := []string{"Web1", "Cache1", "Cache2"}
+	// A random tracker kind (or none) rides along, so the tracker
+	// plane's per-node counters are covered by the sum==global and
+	// attribution checks across random topologies too.
+	trackers := []string{"", "idlepage", "softdirty", "damon"}
 	rng := xrand.New(42)
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 10; i++ {
 		spec := randomSpec(rng)
 		policy := policies[int(rng.Uint64n(uint64(len(policies))))]()
 		wl := workloads[int(rng.Uint64n(uint64(len(workloads))))]
-		name := fmt.Sprintf("%d_%s_%s_%dnodes", i, wl, policy.Name, len(spec.Nodes))
+		trk := trackers[int(rng.Uint64n(uint64(len(trackers))))]
+		name := fmt.Sprintf("%d_%s_%s_%dnodes_trk-%s", i, wl, policy.Name, len(spec.Nodes), trk)
 		t.Run(name, func(t *testing.T) {
 			m, err := New(Config{
 				Seed:     rng.Uint64(),
@@ -40,6 +47,7 @@ func TestNodeSumsMatchGlobalRandomized(t *testing.T) {
 				Workload: workload.Catalog[wl](4 * 1024),
 				Topology: spec,
 				Minutes:  3,
+				Tracker:  tracker.Config{Kind: trk},
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -41,6 +41,7 @@ import (
 	"tppsim/internal/tier"
 	"tppsim/internal/tmo"
 	"tppsim/internal/trace"
+	"tppsim/internal/tracker"
 	"tppsim/internal/vmstat"
 	"tppsim/internal/workload"
 	"tppsim/internal/xrand"
@@ -123,6 +124,18 @@ type Config struct {
 	// check Machine.RecordError afterwards. Recording is transparent:
 	// the run's results are identical with or without it.
 	RecordTo string
+
+	// Tracker enables the sampled access-tracking plane: the configured
+	// tracker observes the access stream through a per-access hook and
+	// folds what it saw into a heatmap on its scan cadence
+	// (metrics.Run.Tracker carries the summary). The empty config — the
+	// default — builds no plane and leaves runs bit- and alloc-identical
+	// to tracker-free builds. The plane's randomness (damon's sampling)
+	// comes from its own seed, never the machine streams. When the
+	// policy is the sampled family (core.Policy.Sampled) the plane also
+	// drives the heat-classifying mover; an unset Kind then defaults to
+	// idlepage.
+	Tracker tracker.Config
 
 	// Faults is the deterministic fault-injection schedule: node
 	// offline/online windows, latency-degradation windows, transient
@@ -239,6 +252,13 @@ type Machine struct {
 	// Fault plane (Config.Faults): nil when the schedule is empty, so
 	// unfaulted runs pay one nil check per tick and nothing else.
 	faults *faultDriver
+
+	// Tracker plane (Config.Tracker / the sampled policy): nil when off,
+	// so tracker-free runs pay one nil check per access and per tick.
+	trkPlane *tracker.Plane
+	// numabTrk is the balancer seen through the tracker.Tracker
+	// interface; the daemon phase drives the scan clock through it.
+	numabTrk tracker.Tracker
 }
 
 // New assembles a machine from the config.
@@ -319,12 +339,28 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.balancer = numab.New(nb, m.store, topo, m.vecs, m.stat, m.engine, m.as)
 	m.numabOn = nb.Enabled
+	// The balancer's hint-fault sampling is one tracker among several:
+	// the daemon phase drives its scan clock through the Tracker
+	// interface (identical calls, so numab-driven runs stay
+	// bit-identical to pre-interface builds).
+	m.numabTrk = m.balancer.Tracker()
 
 	if p.TMO != nil {
 		m.tmoctl = tmo.New(*p.TMO, topo, m.daemon, m.swapd)
 	}
 	if cfg.EnableChameleon {
 		m.cham = chameleon.New(cfg.ChameleonConfig, m.as, m.store, m.rng.Split())
+	}
+
+	// Resolve the tracker plane's config up front: the sampled policy
+	// defaults to idlepage when no kind was chosen, and the recording
+	// header carries the resolved spec so replays rebuild the plane.
+	trkCfg := cfg.Tracker
+	if p.Sampled != nil && !trkCfg.On() {
+		trkCfg.Kind = "idlepage"
+	}
+	if err := trkCfg.Validate(); err != nil {
+		return nil, err
 	}
 
 	if cfg.RecordTo != "" {
@@ -338,6 +374,7 @@ func New(cfg Config) (*Machine, error) {
 			fs := cfg.Faults
 			h.Faults = &fs
 		}
+		h.Tracker = trkCfg.Spec()
 		w, err := trace.Create(cfg.RecordTo, h)
 		if err != nil {
 			return nil, err
@@ -373,6 +410,21 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if !cfg.Faults.Empty() {
 		m.faults = newFaultDriver(m, cfg.Faults)
+	}
+	if trkCfg.On() {
+		env := tracker.Env{
+			Store: m.store,
+			Topo:  topo,
+			Stat:  m.stat,
+			Seed:  cfg.Seed ^ 0x7472616b, // tracker-private randomness
+		}
+		if p.Sampled != nil {
+			env.Engine = m.engine
+		}
+		m.trkPlane, err = tracker.NewPlane(trkCfg, p.Sampled, env)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
@@ -520,6 +572,7 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 	store, latMat, nodeLocal := m.store, m.latMat, m.nodeLocal
 	nn, numabOn, tick := m.nNodes, m.numabOn, m.tick
 	latAcc := m.latAcc
+	trk := m.trkPlane
 	var accesses, local uint64
 	// Batched translations are valid only while no page is unmapped. A
 	// fault below can trigger direct reclaim, which evicts (unmaps)
@@ -569,6 +622,9 @@ func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 		if m.cham != nil {
 			m.cham.OnAccess(v)
 		}
+		if trk != nil {
+			trk.OnAccess(pfn, pg)
+		}
 		pg.LastAccessTick = tick
 		accesses++
 		if servedLocal {
@@ -610,6 +666,9 @@ func (m *Machine) finishAccess(v pagetable.VPN, pfn mem.PFN, event float64) {
 	}
 	if m.cham != nil {
 		m.cham.OnAccess(v)
+	}
+	if m.trkPlane != nil {
+		m.trkPlane.OnAccess(pfn, pg)
 	}
 	pg.LastAccessTick = m.tick
 
@@ -700,7 +759,7 @@ func (m *Machine) Step() {
 	// driving it: demotions under reclaim, promotions under numab.
 	m.daemon.Tick()
 	prof.Lap(probe.PhaseReclaim)
-	m.balancer.Tick()
+	m.numabTrk.Tick(m.tick, nil)
 	prof.Lap(probe.PhaseNUMAB)
 	if m.atier != nil {
 		m.atier.Tick()
@@ -714,6 +773,10 @@ func (m *Machine) Step() {
 	}
 	if m.cham != nil {
 		m.cham.Tick()
+	}
+	// Tracker plane: scan clock, heatmap fold, oracle scoring, mover.
+	if m.trkPlane != nil {
+		m.trkPlane.Tick(m.tick)
 	}
 	prof.Lap(probe.PhaseControl)
 
@@ -879,6 +942,9 @@ func (m *Machine) finish() {
 	if m.faults != nil {
 		m.run.FaultLog = m.faults.log
 	}
+	if m.trkPlane != nil {
+		m.run.Tracker = m.trkPlane.Finish(m.tick)
+	}
 	// Per-node end-of-run accounting from the stats plane — populated
 	// for failed runs too, so a crash still shows where pages sat.
 	m.run.Nodes = m.run.Nodes[:0]
@@ -941,6 +1007,9 @@ func (m *Machine) Engine() *migrate.Engine { return m.engine }
 
 // AddressSpace returns the workload's address space.
 func (m *Machine) AddressSpace() *pagetable.AddressSpace { return m.as }
+
+// TrackerPlane returns the machine's tracker plane (nil when off).
+func (m *Machine) TrackerPlane() *tracker.Plane { return m.trkPlane }
 
 // Chameleon returns the attached profiler (nil unless enabled).
 func (m *Machine) Chameleon() *chameleon.Chameleon { return m.cham }

@@ -114,8 +114,9 @@ const Magic = "TPPTRACE"
 // reserved for per-node free-page/watermark levels (readers treat it
 // like v4); version 6 added the header fault-schedule block and
 // OpFault edge events, so replays reproduce faulted runs bit-
-// identically. Older traces still load.
-const Version = 6
+// identically; version 7 added the header tracker spec, so replays
+// rebuild the recorded run's tracker plane. Older traces still load.
+const Version = 7
 
 // Header carries the workload identity a trace was captured from: enough
 // for the Replayer to satisfy the workload.Workload interface and for a
@@ -135,6 +136,11 @@ type Header struct {
 	// injected with (v6+), so a replay can re-apply the identical
 	// faults. nil for faults-off runs and older traces.
 	Faults *fault.Schedule
+	// Tracker, when non-empty, is the tracker-plane spec string the
+	// recorded run was observed with (v7+, tracker.ParseSpec format),
+	// so a replay can rebuild the identical plane. Empty for
+	// tracker-off runs and older traces.
+	Tracker string
 }
 
 // HeaderFor builds a Header describing the given workload.
@@ -254,6 +260,10 @@ func encodeHeader(h Header) []byte {
 	}
 	if v >= 6 {
 		buf = appendFaults(buf, h.Faults)
+	}
+	if v >= 7 {
+		buf = binary.AppendUvarint(buf, uint64(len(h.Tracker)))
+		buf = append(buf, h.Tracker...)
 	}
 	return buf
 }
@@ -503,6 +513,20 @@ func readHeader(r byteStream) (Header, error) {
 		if h.Faults, err = readFaults(r); err != nil {
 			return Header{}, err
 		}
+	}
+	if h.Version >= 7 {
+		specLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Header{}, fmt.Errorf("trace: reading tracker spec length: %w", err)
+		}
+		if specLen > 1<<12 {
+			return Header{}, fmt.Errorf("trace: absurd tracker spec length %d", specLen)
+		}
+		spec := make([]byte, specLen)
+		if _, err := io.ReadFull(r, spec); err != nil {
+			return Header{}, fmt.Errorf("trace: reading tracker spec: %w", err)
+		}
+		h.Tracker = string(spec)
 	}
 	return h, nil
 }

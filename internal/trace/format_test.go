@@ -22,6 +22,7 @@ func testHeader() Header {
 		Model:       metrics.ThroughputModel{CPUServiceNs: 312.5, StallsPerOp: 1.25},
 		TotalPages:  96 * 1024,
 		WarmupTicks: 120,
+		Tracker:     "softdirty:scan=4,gran=1,regions=64,samples=64,halflife=16,range=32",
 	}
 }
 

@@ -40,6 +40,9 @@ func fuzzSeedTrace(f *testing.F, version int) []byte {
 			{Kind: fault.MigFailBegin, Node: -1, At: 5, Prob: 0.5, MaxRetries: 2},
 		}}
 	}
+	if version >= 7 {
+		h.Tracker = "idlepage:scan=8,gran=2,regions=128,samples=128,halflife=32,range=64"
+	}
 	var buf bytes.Buffer
 	w := NewWriter(&buf, h)
 	w.Mmap(pagetable.Region{Start: 0, Pages: 1 << 16, Type: mem.Anon}, 0.5)

@@ -1,0 +1,239 @@
+package tracker
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+	"tppsim/internal/xrand"
+)
+
+// damonRegion is one monitored PFN region [start, end): nr counts the
+// samples that found its accessed bit set out of chances taken this
+// aggregation window, so nr/chances estimates the fraction of the
+// region touched.
+type damonRegion struct {
+	start, end  int
+	nr, chances uint32
+}
+
+func (r damonRegion) pages() int { return r.end - r.start }
+
+func (r damonRegion) density() float64 {
+	if r.chances == 0 {
+		return 0
+	}
+	return float64(r.nr) / float64(r.chances)
+}
+
+// damon is the region-sampling tracker: instead of scanning every
+// page, it spends a fixed per-tick budget sampling one random page per
+// region and lets the region boundaries adapt — regions whose halves
+// behave alike merge, and the freed budget splits regions elsewhere so
+// hot/cold boundaries sharpen where they matter. Overhead is constant
+// in memory size (the mechanism's selling point); accuracy rides on
+// how well regions track the working set, which the split/merge
+// counters and the oracle expose.
+type damon struct {
+	cfg Config
+
+	env     Env
+	bits    *AccessBits
+	rng     *xrand.RNG
+	regions []damonRegion
+	scratch []damonRegion
+	cursor  int // round-robin sampling cursor
+	lastAgg uint64
+	started bool
+}
+
+func newDamon(cfg Config) *damon {
+	return &damon{cfg: cfg.WithDefaults()}
+}
+
+// Name returns the registry kind.
+func (d *damon) Name() string { return "damon" }
+
+// Start carves the PFN space into an initial set of equal regions (a
+// quarter of the budget; splits grow it toward the budget as samples
+// arrive) and seeds the tracker-private RNG.
+func (d *damon) Start(env Env) error {
+	d.env = env
+	d.bits = env.Bits
+	if d.bits == nil {
+		d.bits = NewAccessBits(env.pfnSpace(), 1)
+	}
+	seed := d.cfg.Seed
+	if seed == 0 {
+		seed = env.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	d.rng = xrand.New(seed)
+
+	total := env.pfnSpace()
+	initial := d.cfg.RegionBudget / 4
+	if initial < 2 {
+		initial = 2
+	}
+	if initial > total {
+		initial = total
+	}
+	d.regions = make([]damonRegion, 0, d.cfg.RegionBudget+1)
+	d.scratch = make([]damonRegion, 0, d.cfg.RegionBudget+1)
+	for i := 0; i < initial; i++ {
+		start := total * i / initial
+		end := total * (i + 1) / initial
+		if end > start {
+			d.regions = append(d.regions, damonRegion{start: start, end: end})
+		}
+	}
+	d.started = true
+	return nil
+}
+
+// Stop releases the tracker.
+func (d *damon) Stop() { d.started = false }
+
+// OnAccess marks the page accessed (the PTE young bit the samples
+// harvest).
+func (d *damon) OnAccess(pfn mem.PFN, pg *mem.Page) { d.bits.Set(pfn) }
+
+// Tick spends the sampling budget every tick and, on aggregation
+// boundaries, folds region densities into the heatmap and adapts the
+// region set.
+func (d *damon) Tick(tick uint64, hm *Heatmap) bool {
+	if !d.started {
+		return false
+	}
+	d.sample()
+	if tick-d.lastAgg < d.cfg.ScanEveryTicks {
+		return false
+	}
+	d.lastAgg = tick
+	d.aggregate(hm)
+	return true
+}
+
+// sample checks one random page in each of SamplesPerTick regions
+// (round-robin), harvesting and clearing its accessed bit. Regions
+// span the whole capacity PFN space; samples landing past the store's
+// allocation high-water mark or on freed pages still spend budget
+// (the region genuinely was probed) but have no resident node to
+// charge the check to.
+func (d *damon) sample() {
+	if len(d.regions) == 0 {
+		return
+	}
+	store, stat := d.env.Store, d.env.Stat
+	live := store.Len()
+	for i := 0; i < d.cfg.SamplesPerTick; i++ {
+		d.cursor++
+		if d.cursor >= len(d.regions) {
+			d.cursor = 0
+		}
+		r := &d.regions[d.cursor]
+		pfn := mem.PFN(r.start + int(d.rng.Uint64n(uint64(r.pages()))))
+		r.chances++
+		if d.bits.TestClear(pfn) {
+			r.nr++
+		}
+		if int(pfn) >= live {
+			continue
+		}
+		if node := store.Page(pfn).Node; node != mem.NilNode {
+			stat.Inc(node, vmstat.TrackerPagesScanned)
+		}
+	}
+}
+
+// aggregate folds each region's sampled density into the heatmap as an
+// estimated touched-page count, then merges similar neighbors and
+// splits regions back up toward the budget.
+func (d *damon) aggregate(hm *Heatmap) {
+	if hm != nil {
+		hm.BeginWindow(float64(d.cfg.ScanEveryTicks))
+		for _, r := range d.regions {
+			dens := r.density()
+			if dens == 0 {
+				continue
+			}
+			for ri := hm.RangeOf(mem.PFN(r.start)); ri <= hm.RangeOf(mem.PFN(r.end-1)); ri++ {
+				rs, re := hm.RangeSpan(ri)
+				lo, hi := max(rs, r.start), min(re, r.end)
+				if hi > lo {
+					hm.Add(ri, dens*float64(hi-lo))
+				}
+			}
+		}
+	}
+	d.merge()
+	d.split()
+	for i := range d.regions {
+		d.regions[i].nr, d.regions[i].chances = 0, 0
+	}
+}
+
+// merge joins adjacent regions whose sampled densities differ by at
+// most mergeEps, capped so one region never swallows more than four
+// budget-shares of the PFN space.
+func (d *damon) merge() {
+	const mergeEps = 0.10
+	maxPages := 4 * d.env.pfnSpace() / d.cfg.RegionBudget
+	if maxPages < 2 {
+		maxPages = 2
+	}
+	out := d.scratch[:0]
+	for _, r := range d.regions {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			diff := prev.density() - r.density()
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= mergeEps && prev.pages()+r.pages() <= maxPages {
+				prev.end = r.end
+				prev.nr += r.nr
+				prev.chances += r.chances
+				d.countAdapt(prev.start, vmstat.TrackerRegionsMerged)
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	d.regions, d.scratch = out, d.regions[:0]
+}
+
+// countAdapt charges a split/merge event to the region's first resident
+// page's node; regions starting past the allocation mark or on a freed
+// page charge node 0 (the event still happened on this machine).
+func (d *damon) countAdapt(start int, c vmstat.Counter) {
+	node := mem.NodeID(0)
+	if start < d.env.Store.Len() {
+		if n := d.env.Store.Page(mem.PFN(start)).Node; n != mem.NilNode {
+			node = n
+		}
+	}
+	d.env.Stat.Inc(node, c)
+}
+
+// split halves regions (at a random interior point, density carried to
+// both halves) until the region count reaches the budget, one pass per
+// aggregation.
+func (d *damon) split() {
+	out := d.scratch[:0]
+	budget := d.cfg.RegionBudget
+	grow := budget - len(d.regions)
+	for _, r := range d.regions {
+		if grow > 0 && r.pages() >= 2 {
+			at := r.start + 1 + int(d.rng.Uint64n(uint64(r.pages()-1)))
+			left := damonRegion{start: r.start, end: at, nr: r.nr / 2, chances: r.chances / 2}
+			right := damonRegion{start: at, end: r.end, nr: r.nr - r.nr/2, chances: r.chances - r.chances/2}
+			out = append(out, left, right)
+			grow--
+			d.countAdapt(r.start, vmstat.TrackerRegionsSplit)
+			continue
+		}
+		out = append(out, r)
+	}
+	d.regions, d.scratch = out, d.regions[:0]
+}

@@ -1,0 +1,101 @@
+package tracker
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/vmstat"
+)
+
+// bitTracker is the scan-and-clear family: per-granule accessed bits
+// set on the hot path and harvested by a periodic full scan, modeling
+// /sys/kernel/mm/page_idle (idlepage) and /proc/pid/clear_refs
+// soft-dirty (softdirty — write bits only). The scan walks every
+// granule: its cost is proportional to machine memory, which is the
+// mechanism's defining overhead, and every check is charged to
+// tracker_pages_scanned on the granule's resident node.
+type bitTracker struct {
+	name      string
+	cfg       Config
+	dirtyOnly bool
+
+	env      Env
+	bits     *AccessBits
+	lastScan uint64
+	started  bool
+	// perNode accumulates one scan's checks per node, flushed to the
+	// stats plane once per scan so the walk stays a tight loop.
+	perNode []uint64
+}
+
+func newBitTracker(name string, cfg Config, dirtyOnly bool) *bitTracker {
+	return &bitTracker{name: name, cfg: cfg.WithDefaults(), dirtyOnly: dirtyOnly}
+}
+
+// Name returns the registry kind.
+func (t *bitTracker) Name() string { return t.name }
+
+// Start binds the tracker; the access bitmap comes from the env when
+// the plane maintains one, otherwise the tracker owns its own.
+func (t *bitTracker) Start(env Env) error {
+	t.env = env
+	t.bits = env.Bits
+	if t.bits == nil {
+		t.bits = NewAccessBits(env.pfnSpace(), t.cfg.GranularityPages)
+	}
+	t.perNode = make([]uint64, env.Topo.NumNodes())
+	t.started = true
+	return nil
+}
+
+// Stop releases the tracker.
+func (t *bitTracker) Stop() { t.started = false }
+
+// OnAccess marks the page's granule accessed; softdirty only sees
+// accesses to dirty pages (its model of "writes" — pages the workload
+// never dirties are invisible to it).
+func (t *bitTracker) OnAccess(pfn mem.PFN, pg *mem.Page) {
+	if t.dirtyOnly && !pg.Flags.Has(mem.PGDirty) {
+		return
+	}
+	t.bits.Set(pfn)
+}
+
+// Tick runs the scan on its period: every granule's bit is checked and
+// cleared, set granules fold their page count into the heatmap. The
+// walk covers the allocated PFN space (Store.Len is the high-water
+// mark; the bitmap is sized for full capacity but bits past the mark
+// can never be set), and checks of freed pages (Node == NilNode) do
+// work but have no resident node to charge.
+func (t *bitTracker) Tick(tick uint64, hm *Heatmap) bool {
+	if !t.started || tick-t.lastScan < t.cfg.ScanEveryTicks {
+		return false
+	}
+	t.lastScan = tick
+	hm.BeginWindow(float64(t.cfg.ScanEveryTicks))
+
+	store, bits := t.env.Store, t.bits
+	gran := bits.Granule()
+	total := store.Len()
+	for i := range t.perNode {
+		t.perNode[i] = 0
+	}
+	for gi := 0; gi*gran < total; gi++ {
+		first := gi * gran
+		if node := store.Page(mem.PFN(first)).Node; node != mem.NilNode {
+			t.perNode[node]++
+		}
+		if !bits.TestClearGranule(gi) {
+			continue
+		}
+		pages := gran
+		if first+pages > total {
+			pages = total - first
+		}
+		hm.Add(hm.RangeOf(mem.PFN(first)), float64(pages))
+	}
+	for n, c := range t.perNode {
+		if c != 0 {
+			t.env.Stat.Add(mem.NodeID(n), vmstat.TrackerPagesScanned, c)
+		}
+	}
+	return true
+}

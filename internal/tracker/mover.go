@@ -1,0 +1,171 @@
+package tracker
+
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/migrate"
+	"tppsim/internal/vmstat"
+)
+
+// Mover turns heat classifications into rate-limited page migrations:
+// pages in hot ranges climb one tier toward the CPU, pages in cold
+// ranges on a pressured CPU-tier node demote down the cascade. All
+// movement goes through the ordinary migration engine, so it pays
+// migration costs, honors watermark guards, and is subject to the
+// fault plane's injected failures and retry machinery like any other
+// migration source.
+//
+// The budget is migration *attempts* per tick. Each tick the mover
+// resumes a cursor walk over the heatmap ranges, collects up to a few
+// budgets' worth of candidates, attempts the budget, and counts the
+// rest as mover_budget_deferred — the backlog signal that says the
+// rate limit, not the tracker, is what's holding placement back.
+type Mover struct {
+	pol PolicyConfig
+	env Env
+	hm  *Heatmap
+
+	fc     *TrendForecaster
+	eff    []float64
+	cursor int
+
+	candUp, candDown []mem.PFN
+	// nodeTop caches "is on the CPU tier" per node, as in numab.
+	nodeTop []bool
+}
+
+// NewMover wires a mover over the machine; env.Engine must be set.
+func NewMover(pol PolicyConfig, env Env, hm *Heatmap) *Mover {
+	pol = pol.WithDefaults()
+	top := make([]bool, env.Topo.NumNodes())
+	for i := range top {
+		top[i] = env.Topo.TierOf(mem.NodeID(i)) == 0
+	}
+	m := &Mover{
+		pol:      pol,
+		env:      env,
+		hm:       hm,
+		candUp:   make([]mem.PFN, 0, 2*pol.PagesPerTick),
+		candDown: make([]mem.PFN, 0, 2*pol.PagesPerTick),
+		nodeTop:  top,
+	}
+	if pol.Forecast {
+		m.fc = NewTrendForecaster(hm.NumRanges())
+		m.eff = make([]float64, hm.NumRanges())
+	}
+	return m
+}
+
+// Tick runs one mover round: classify, collect, attempt within budget,
+// defer the rest.
+func (m *Mover) Tick() {
+	heats := m.hm.Heats()
+	if m.fc != nil {
+		m.fc.Forecast(m.eff, heats)
+		heats = m.eff
+	}
+	m.collect(heats)
+	budget := m.pol.PagesPerTick
+	budget = m.attempt(m.candUp, migrate.Promotion, budget)
+	m.attempt(m.candDown, migrate.Demotion, budget)
+}
+
+// collect resumes the range cursor and gathers promotion candidates
+// from hot ranges and demotion candidates from cold ranges, up to the
+// scratch capacity, wrapping at most once around the heatmap.
+func (m *Mover) collect(heats []float64) {
+	m.candUp, m.candDown = m.candUp[:0], m.candDown[:0]
+	store, topo := m.env.Store, m.env.Topo
+	live := store.Len() // allocation high-water mark; no pages past it
+	n := m.hm.NumRanges()
+	for seen := 0; seen < n; seen++ {
+		r := m.cursor
+		m.cursor++
+		if m.cursor >= n {
+			m.cursor = 0
+		}
+		start, end := m.hm.RangeSpan(r)
+		if end <= start {
+			continue
+		}
+		// Per-page heat divides by the true range span; the page walk
+		// stops at the allocation high-water mark.
+		class := m.pol.Classify(heats[r] / float64(end-start))
+		if end > live {
+			end = live
+		}
+		if end <= start {
+			continue
+		}
+		switch class {
+		case Hot:
+			if cap(m.candUp) == len(m.candUp) {
+				continue
+			}
+			for pfn := start; pfn < end; pfn++ {
+				pg := store.Page(mem.PFN(pfn))
+				if !pg.Flags.Has(mem.PGOnLRU) || pg.Flags.Has(mem.PGUnevictable) {
+					continue
+				}
+				if m.nodeTop[pg.Node] {
+					continue // already on the CPU tier
+				}
+				m.candUp = append(m.candUp, mem.PFN(pfn))
+				if cap(m.candUp) == len(m.candUp) {
+					break
+				}
+			}
+		case Cold:
+			if cap(m.candDown) == len(m.candDown) {
+				continue
+			}
+			for pfn := start; pfn < end; pfn++ {
+				pg := store.Page(mem.PFN(pfn))
+				if !pg.Flags.Has(mem.PGOnLRU) || pg.Flags.Has(mem.PGUnevictable) {
+					continue
+				}
+				// Demote only from a pressured CPU-tier node: cold
+				// pages in abundant memory are left where they are
+				// (moving them buys nothing and churns the bus).
+				if !m.nodeTop[pg.Node] || !topo.Node(pg.Node).BelowDemote() {
+					continue
+				}
+				m.candDown = append(m.candDown, mem.PFN(pfn))
+				if cap(m.candDown) == len(m.candDown) {
+					break
+				}
+			}
+		}
+		if cap(m.candUp) == len(m.candUp) && cap(m.candDown) == len(m.candDown) {
+			return
+		}
+	}
+}
+
+// attempt migrates candidates until the budget runs out, counting the
+// remainder as deferred; returns the unspent budget. Promotions run
+// before demotions — freeing fast memory matters less than filling it
+// with the right pages.
+func (m *Mover) attempt(cands []mem.PFN, reason migrate.Reason, budget int) int {
+	store, topo, stat := m.env.Store, m.env.Topo, m.env.Stat
+	for _, pfn := range cands {
+		pg := store.Page(pfn)
+		if budget == 0 {
+			stat.Inc(pg.Node, vmstat.MoverBudgetDeferred)
+			continue
+		}
+		var target mem.NodeID
+		if reason == migrate.Promotion {
+			target = topo.PromotionTargetToward(pg.Home, pg.Node)
+		} else {
+			target = topo.DemotionTarget(pg.Node)
+		}
+		if target == mem.NilNode || topo.Degraded(target) {
+			continue
+		}
+		budget--
+		if _, err := m.env.Engine.Migrate(pfn, target, reason); err == nil {
+			stat.Inc(target, vmstat.MoverPagesMoved)
+		}
+	}
+	return budget
+}

@@ -1,0 +1,71 @@
+package tracker
+
+import (
+	"tppsim/internal/mem"
+)
+
+// oracle is the ground-truth side of the accuracy measurement: exact
+// per-PFN access counts over each scan window, which no real tracker
+// gets to see. At every fold it scores the tracker's hot-set — all
+// pages of ranges the policy classifies hot — against the pages the
+// window actually hammered, yielding precision (how much of what the
+// tracker calls hot really is) and recall (how much of the real hot
+// set the tracker found). Range-granular tracking inherently pays
+// precision for recall: classifying a range hot claims its untouched
+// pages too, and that is exactly the overhead/accuracy story MT6
+// sweeps.
+type oracle struct {
+	counts []uint16
+	// hotMin is the exact access count that makes a page ground-truth
+	// hot within one window.
+	hotMin uint16
+	// classes is scratch for the per-range classification.
+	classes []Class
+}
+
+func newOracle(totalPFNs, numRanges int) *oracle {
+	return &oracle{
+		counts:  make([]uint16, totalPFNs),
+		hotMin:  2,
+		classes: make([]Class, numRanges),
+	}
+}
+
+// observe counts one access (saturating).
+func (o *oracle) observe(pfn mem.PFN) {
+	if c := o.counts[pfn]; c != ^uint16(0) {
+		o.counts[pfn] = c + 1
+	}
+}
+
+// evaluate scores the tracker hot-set against this window's exact
+// counts and resets the window. Returns precision, recall, and whether
+// each is defined (a window with no hot classification has no
+// precision; one with no truly hot pages has no recall).
+func (o *oracle) evaluate(hm *Heatmap, pol PolicyConfig) (prec, rec float64, precOK, recOK bool) {
+	for r := range o.classes {
+		o.classes[r] = pol.Classify(hm.HeatPerPage(r))
+	}
+	var trackerHot, oracleHot, both uint64
+	for pfn, cnt := range o.counts {
+		hot := o.classes[hm.RangeOf(mem.PFN(pfn))] == Hot
+		truth := cnt >= o.hotMin
+		if hot {
+			trackerHot++
+		}
+		if truth {
+			oracleHot++
+		}
+		if hot && truth {
+			both++
+		}
+		o.counts[pfn] = 0
+	}
+	if trackerHot > 0 {
+		prec, precOK = float64(both)/float64(trackerHot), true
+	}
+	if oracleHot > 0 {
+		rec, recOK = float64(both)/float64(oracleHot), true
+	}
+	return prec, rec, precOK, recOK
+}

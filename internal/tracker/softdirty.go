@@ -1,0 +1,23 @@
+package tracker
+
+// softdirty is the write-only member of the scan-and-clear family (see
+// bitTracker in idlepage.go): it shares the bitmap-and-scan machinery
+// but its OnAccess only marks pages the workload has dirtied, modeling
+// /proc/pid/clear_refs soft-dirty tracking. The blind spot is the
+// point: a hot set that is only ever read — clean file pages, anon
+// pages that are never written — produces no signal at all, which the
+// accuracy oracle makes measurable (near-zero recall on read-heavy
+// workloads where idlepage scores high).
+//
+// NewSoftDirty returns a standalone softdirty tracker; the registry
+// normally builds it via New(Config{Kind: "softdirty"}).
+func NewSoftDirty(cfg Config) Tracker {
+	cfg.Kind = "softdirty"
+	return newBitTracker("softdirty", cfg, true)
+}
+
+// NewIdlePage returns a standalone idlepage tracker.
+func NewIdlePage(cfg Config) Tracker {
+	cfg.Kind = "idlepage"
+	return newBitTracker("idlepage", cfg, false)
+}

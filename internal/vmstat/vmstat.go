@@ -38,7 +38,14 @@
 //   - node_offline_events and evacuated_pages: the node going offline
 //     (or shrinking) — the source the pages were evacuated from;
 //   - migrate_retry and migrate_backoff_drop: the migration source,
-//     matching pgmigrate_fail.
+//     matching pgmigrate_fail;
+//   - tracker_pages_scanned: the resident node of the page (or region
+//     sample) whose accessed state the tracker checked;
+//   - tracker_regions_split and tracker_regions_merged: the resident
+//     node of the first page of the region being split or merged;
+//   - mover_pages_moved: the destination node, matching
+//     pgmigrate_success; mover_budget_deferred: the node the deferred
+//     candidate currently resides on (the would-be source).
 package vmstat
 
 import (
@@ -118,6 +125,14 @@ const (
 	MigrateBackoffDrop // pages dropped after exhausting migration retries
 	EvacuatedPages     // pages emergency-moved off an offlining/shrinking node
 
+	// Tracker plane (simulator extension): sampled access tracking and
+	// the heat-driven mover. Zero on tracker-off runs.
+	TrackerPagesScanned  // accessed-state checks performed by the tracker
+	TrackerRegionsSplit  // damon-style region splits
+	TrackerRegionsMerged // damon-style region merges
+	MoverPagesMoved      // pages migrated by the heat-driven mover
+	MoverBudgetDeferred  // move candidates deferred by the per-tick budget
+
 	numCounters
 )
 
@@ -176,6 +191,12 @@ var names = [NumCounters]string{
 	MigrateRetry:       "migrate_retry",
 	MigrateBackoffDrop: "migrate_backoff_drop",
 	EvacuatedPages:     "evacuated_pages",
+
+	TrackerPagesScanned:  "tracker_pages_scanned",
+	TrackerRegionsSplit:  "tracker_regions_split",
+	TrackerRegionsMerged: "tracker_regions_merged",
+	MoverPagesMoved:      "mover_pages_moved",
+	MoverBudgetDeferred:  "mover_budget_deferred",
 }
 
 // String returns the counter's /proc/vmstat-style name.
