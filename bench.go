@@ -52,6 +52,33 @@ func SimTickBenchTrackedConfig() MachineConfig {
 	return cfg
 }
 
+// SimTickBenchLargeConfig is the parallel core's reference machine: a
+// 2M-page working set (the page store and translation tables outgrow
+// any CPU cache, so every access is a memory miss) with a full-socket
+// access stream. It runs serial (Workers unset); cmd/bench records it
+// as the large-machine baseline the parallel run must beat.
+func SimTickBenchLargeConfig() MachineConfig {
+	return MachineConfig{
+		Seed:            1,
+		Policy:          TPP(),
+		Workload:        Workloads["Cache1"](2 << 20),
+		Ratio:           [2]uint64{2, 1},
+		Minutes:         1 << 30,
+		AccessesPerTick: 8192,
+	}
+}
+
+// SimTickBenchParallelConfig is SimTickBenchLargeConfig with the sim
+// core's stage phase sharded across all CPUs (Workers=GOMAXPROCS).
+// Results are bit-identical to the serial run by the parallel core's
+// contract; only wall-clock changes. cmd/bench -check requires it to
+// beat the serial large-machine run on machines with ≥ 4 CPUs.
+func SimTickBenchParallelConfig() MachineConfig {
+	cfg := SimTickBenchLargeConfig()
+	cfg.Workers = WorkersAuto
+	return cfg
+}
+
 // SimTickBenchWarmTicks is how many ticks the benchmark machine steps
 // before measurement, moving it past the workload's fill phase.
 const SimTickBenchWarmTicks = 600

@@ -22,7 +22,13 @@
 //     its allocs/op grew at all;
 //   - tracker-on (idlepage sampled tracking) ns/op exceeds the
 //     tracker-off run by more than -tracked-tolerance (default 10%),
-//     or its allocs/op grew at all.
+//     or its allocs/op grew at all;
+//   - on machines with ≥ 4 CPUs, the parallel large-machine run
+//     (Workers=GOMAXPROCS, BenchmarkSimTickParallel) fails to beat the
+//     serial large-machine run's ns/op — the parallel sim core must
+//     pay for itself where it claims to (results are bit-identical
+//     either way, so only wall-clock is at stake). Under 4 CPUs the
+//     gate is skipped: there is nothing to shard onto.
 //
 // Checking does not overwrite the baseline; refresh it with a plain run
 // when a slowdown is intentional and explained.
@@ -94,6 +100,10 @@ func main() {
 	nsProbed := nsOf(resProbed)
 	resTracked := bench(tppsim.SimTickBenchTrackedConfig())
 	nsTracked := nsOf(resTracked)
+	resLarge := bench(tppsim.SimTickBenchLargeConfig())
+	nsLarge := nsOf(resLarge)
+	resParallel := bench(tppsim.SimTickBenchParallelConfig())
+	nsParallel := nsOf(resParallel)
 
 	if *check {
 		raw, err := os.ReadFile(*baseline)
@@ -205,6 +215,23 @@ func main() {
 				res.AllocsPerOp(), resTracked.AllocsPerOp())
 			failed = true
 		}
+		parallelRatio := nsParallel / nsLarge
+		fmt.Printf("SimTickParallel: %.0f ns/op vs serial large %.0f ns/op (%+.1f%%) on %d CPUs\n",
+			nsParallel, nsLarge, 100*(parallelRatio-1), runtime.GOMAXPROCS(0))
+		if runtime.GOMAXPROCS(0) >= 4 {
+			if parallelRatio >= 1 {
+				// Re-measure the pair once before failing, same noise logic.
+				off, on := bench(tppsim.SimTickBenchLargeConfig()), bench(tppsim.SimTickBenchParallelConfig())
+				if r := nsOf(on) / nsOf(off); r < parallelRatio {
+					parallelRatio = r
+				}
+			}
+			if parallelRatio >= 1 {
+				fmt.Fprintf(os.Stderr, "bench: parallel sim core (%+.1f%%) does not beat the serial large-machine run on %d CPUs\n",
+					100*(parallelRatio-1), runtime.GOMAXPROCS(0))
+				failed = true
+			}
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -223,6 +250,9 @@ func main() {
 		"probed_allocs_per_op":  resProbed.AllocsPerOp(),
 		"tracked_ns_per_op":     nsTracked,
 		"tracked_allocs_per_op": resTracked.AllocsPerOp(),
+		"large_ns_per_op":       nsLarge,
+		"parallel_ns_per_op":    nsParallel,
+		"parallel_workers":      runtime.GOMAXPROCS(0),
 		"goos":                  runtime.GOOS,
 		"goarch":                runtime.GOARCH,
 		"go_version":            runtime.Version(),
@@ -237,8 +267,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op; tracked %.0f ns/op, %d allocs/op -> %s\n",
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op; tracked %.0f ns/op, %d allocs/op; large %.0f ns/op, parallel %.0f ns/op on %d CPUs -> %s\n",
 		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N,
 		nsSampled, resSampled.AllocsPerOp(), nsProbed, resProbed.AllocsPerOp(),
-		nsTracked, resTracked.AllocsPerOp(), *out)
+		nsTracked, resTracked.AllocsPerOp(),
+		nsLarge, nsParallel, runtime.GOMAXPROCS(0), *out)
 }

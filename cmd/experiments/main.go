@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tppsim/internal/experiments"
@@ -27,7 +28,7 @@ func main() {
 		minutes = flag.Int("minutes", 0, "simulated minutes (default 60)")
 		seed    = flag.Uint64("seed", 0, "random seed (default 1)")
 		csv     = flag.Bool("csv", false, "print figure series as CSV")
-		workers = flag.Int("workers", 0, "worker-pool size (default: all CPUs)")
+		workers = flag.Int("workers", 0, "CPU budget split between concurrent machines and each machine's sim-core workers (default: all CPUs)")
 		cpuProf = flag.String("cpuprofile", "", "write a Go CPU profile to FILE")
 		memProf = flag.String("memprofile", "", "write a Go heap profile to FILE at exit")
 	)
@@ -68,7 +69,27 @@ func main() {
 		specs = []experiments.Spec{s}
 	}
 
-	for _, res := range experiments.RunAll(specs, o, *workers) {
+	// -workers is a CPU budget, not just a pool size: machine-level
+	// parallelism takes as much of it as there are experiments to run
+	// concurrently, and whatever is left over (the single-experiment
+	// case, or a budget above the spec count) goes to each machine's
+	// sim-core workers. Results are bit-identical either way — the
+	// split only decides where the CPUs are spent, never oversubscribing
+	// machines × sim workers beyond the budget.
+	budget := *workers
+	if budget <= 0 {
+		budget = runtime.NumCPU()
+	}
+	machineWorkers := budget
+	if machineWorkers > len(specs) {
+		machineWorkers = len(specs)
+	}
+	if machineWorkers < 1 {
+		machineWorkers = 1
+	}
+	o.SimWorkers = budget / machineWorkers
+
+	for _, res := range experiments.RunAll(specs, o, machineWorkers) {
 		fmt.Println(res.Table.String())
 		if *csv {
 			for _, name := range sortedSeries(res) {

@@ -93,6 +93,7 @@ func main() {
 		minutes  = flag.Int("minutes", 60, "simulated minutes")
 		pages    = flag.Uint64("pages", workload.DefaultTotalPages, "working-set size in 4KB pages")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 1, "sim-core workers sharding the access stage (1 = serial, 0 = all CPUs; results are bit-identical for any count)")
 		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters (per node on multi-node machines)")
 		nodesFl  = flag.Bool("nodes", false, "print the per-node residency/counter table")
 		seriesFl = flag.Bool("series", false, "sample the per-tick per-node series plane and print flow table + sparklines")
@@ -280,10 +281,18 @@ func main() {
 		}
 	}
 
+	// The flag speaks the issue-facing convention (0 = all CPUs); the
+	// Config zero value means serial, so auto maps to WorkersAuto.
+	cfgWorkers := *workers
+	if cfgWorkers == 0 {
+		cfgWorkers = sim.WorkersAuto
+	}
+
 	for _, p := range policies {
 		cfg := sim.Config{
 			Seed:             *seed,
 			Policy:           p,
+			Workers:          cfgWorkers,
 			Minutes:          *minutes,
 			RecordTo:         *recordTo,
 			SampleEveryTicks: *sampleEv,

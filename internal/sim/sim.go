@@ -91,6 +91,16 @@ type Config struct {
 	// access represents (default 100). Per-page event costs (faults,
 	// migrations, stalls) are amortized over the real rate.
 	AccessScale float64
+	// Workers shards each tick's access-batch stage phase (page-table
+	// translation + page-line warming) across worker goroutines; all
+	// state mutation stays serial, so results are bit-identical for any
+	// value — same seed, same scalars, vmstat, series, histograms, and
+	// trace bytes (see parallel.go). 0 (the zero value) and 1 run
+	// today's exact serial path; N > 1 uses N workers; WorkersAuto (-1)
+	// uses GOMAXPROCS. Sharding pays off on large machines whose page
+	// store outgrows the cache; small machines should stay serial.
+	Workers int
+
 	// RecordEveryTicks sets the series resolution (default 30).
 	RecordEveryTicks int
 	// SampleEveryTicks enables the per-tick per-node series plane: every
@@ -195,6 +205,9 @@ type Machine struct {
 	batch     workload.BatchAccessor
 	accessBuf []pagetable.VPN
 	pfnBuf    []mem.PFN
+	// par shards the batch's stage phase across workers when
+	// Config.Workers > 1 (nil = serial; see parallel.go).
+	par *stagePool
 	// warmSink keeps the translate pass's page-line touches observable so
 	// the compiler cannot delete them; the loads are the point (they pull
 	// each access's page line toward the cache ahead of the heavy pass).
@@ -426,11 +439,18 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 	}
-	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name()}
+	workers := resolveWorkers(cfg.Workers)
+	m.run = &metrics.Run{Policy: p.Name, Workload: cfg.Workload.Name(), Workers: workers}
 	if ba, ok := m.wl.(workload.BatchAccessor); ok {
 		m.batch = ba
 		m.accessBuf = make([]pagetable.VPN, cfg.AccessesPerTick)
 		m.pfnBuf = make([]mem.PFN, cfg.AccessesPerTick)
+		// The stage pool only helps the batched path: the per-access
+		// fallback path interleaves draw and charge, leaving nothing
+		// side-effect-free to shard.
+		if workers > 1 {
+			m.par = newStagePool(m, workers)
+		}
 	}
 	m.wl.Start(m)
 	return m, nil
@@ -553,16 +573,23 @@ func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
 // and update order per access, minus the per-access call frames. Pages
 // not resident at batch start (including ones faulted by an earlier
 // access of this same tick) take the full fault-aware access path.
+//
+// With Config.Workers > 1 the translate+warm front half is sharded
+// across the stage pool — pure reads into the same PFN buffer — and the
+// charge loop below runs unchanged, so parallel runs are bit-identical
+// to serial ones (parallel.go).
 func (m *Machine) runAccessBatch(vs []pagetable.VPN) {
 	pfns := m.pfnBuf[:len(vs)]
-	m.as.TranslateBatch(vs, pfns)
-	warm := m.warmSink
-	for _, pfn := range pfns {
-		if pfn != mem.NilPFN {
-			warm += uint64(m.store.Page(pfn).Flags)
+	if m.par == nil || !m.par.stage(vs, pfns) {
+		m.as.TranslateBatch(vs, pfns)
+		warm := m.warmSink
+		for _, pfn := range pfns {
+			if pfn != mem.NilPFN {
+				warm += uint64(m.store.Page(pfn).Flags)
+			}
 		}
+		m.warmSink = warm
 	}
-	m.warmSink = warm
 	m.prof.Lap(probe.PhaseTranslate)
 	const lruHot = mem.PGOnLRU | mem.PGReferenced | mem.PGActive
 	// Loop-invariant machine state in locals: calls inside the loop are

@@ -1,0 +1,76 @@
+// Stream splitting for the parallel sim core. xoshiro256** supports
+// polynomial jumps: Jump advances a generator by 2^128 draws and
+// LongJump by 2^192, both in a few hundred integer operations. Deriving
+// shard streams by jumping one seeded generator — rather than hashing
+// per-shard seeds as Split does — gives streams that provably never
+// overlap within 2^128 draws of each other, and makes the derivation a
+// pure function of (seed, shard index): the same shard always sees the
+// same stream no matter how many shards exist or in what order they
+// were built.
+package xrand
+
+// jumpPoly and longJumpPoly are the published xoshiro256** jump
+// polynomials (Blackman & Vigna): applying them advances the state by
+// exactly 2^128 and 2^192 draws respectively.
+var (
+	jumpPoly     = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	longJumpPoly = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+)
+
+// applyJump replaces r's state with the polynomial image: the state
+// reached after stepping poly's encoded number of draws.
+func (r *RNG) applyJump(poly [4]uint64) {
+	var s0, s1, s2, s3 uint64
+	for _, word := range poly {
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
+			}
+			r.Uint64()
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// Jump advances r by 2^128 draws. Because the jump is just a very long
+// sequence of ordinary steps, it commutes with Uint64: draw-then-jump
+// and jump-then-draw land on the same state.
+func (r *RNG) Jump() { r.applyJump(jumpPoly) }
+
+// LongJump advances r by 2^192 draws, partitioning the period into
+// 2^64 non-overlapping blocks of 2^192 draws each — one block per
+// substream.
+func (r *RNG) LongJump() { r.applyJump(longJumpPoly) }
+
+// Substream returns the i'th derived stream of seed: New(seed) advanced
+// by i long jumps. Substream(seed, 0) draws the identical sequence to
+// New(seed); stream i starts 2^192 draws ahead of stream i-1, so no two
+// substreams of one seed can collide within any simulation's horizon.
+// The derivation depends only on (seed, i) — not on which other
+// substreams exist — so shard streams are stable as worker counts
+// change. Cost is O(i) jumps; callers with many streams should use
+// Substreams.
+func Substream(seed uint64, i int) *RNG {
+	r := New(seed)
+	for k := 0; k < i; k++ {
+		r.LongJump()
+	}
+	return r
+}
+
+// Substreams returns substreams 0..n-1 of seed, deriving each from the
+// previous with one long jump (O(n) total). Substreams(seed, n)[i]
+// draws the identical sequence to Substream(seed, i).
+func Substreams(seed uint64, n int) []*RNG {
+	out := make([]*RNG, n)
+	cur := New(seed)
+	for i := 0; i < n; i++ {
+		c := *cur
+		out[i] = &c
+		cur.LongJump()
+	}
+	return out
+}

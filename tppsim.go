@@ -127,6 +127,11 @@ func TopologyPreset(name string) (Topology, bool) { return tier.Preset(name) }
 // MachineConfig configures one simulation run; it is sim.Config.
 type MachineConfig = sim.Config
 
+// WorkersAuto, set as MachineConfig.Workers, shards the sim core's
+// access-stage phase across one worker per CPU. Any worker count
+// produces bit-identical results; only wall-clock changes.
+const WorkersAuto = sim.WorkersAuto
+
 // Machine is an assembled tiered-memory machine.
 type Machine = sim.Machine
 
