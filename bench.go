@@ -1,6 +1,11 @@
 package tppsim
 
-import "tppsim/internal/tracker"
+import (
+	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
+	"tppsim/internal/tracker"
+	"tppsim/internal/workload"
+)
 
 // SimTickBenchConfig is the canonical core-loop benchmark setup shared
 // by BenchmarkSimTick (bench_test.go) and cmd/bench, which commits its
@@ -77,6 +82,52 @@ func SimTickBenchParallelConfig() MachineConfig {
 	cfg := SimTickBenchLargeConfig()
 	cfg.Workers = WorkersAuto
 	return cfg
+}
+
+// SimTickBenchHugeConfig is the terabyte-scale machine: ~1.15 TB of
+// memory (302M base pages across local + CXL) in 2 MB huge frames over
+// the extent-compressed page table. The workload sequentially prefaults
+// a 192 GB anon heap during warm-up — frames fault in order, so the
+// table collapses toward a handful of extents — then drives a uniform
+// access stream over it. cmd/bench records its per-tick cost next to
+// the dense large-machine run and gates its simulator footprint at
+// SimTickHugeBytesPerPageMax bytes per simulated resident page.
+func SimTickBenchHugeConfig() MachineConfig {
+	return MachineConfig{
+		Seed:            1,
+		Policy:          TPP(),
+		Workload:        hugeBenchWorkload(),
+		LocalPages:      192 << 20,
+		CXLPages:        96 << 20,
+		HugePages:       true,
+		Minutes:         1 << 30,
+		AccessesPerTick: 8192,
+	}
+}
+
+// SimTickHugeBytesPerPageMax is the footprint gate cmd/bench -check
+// enforces on the huge benchmark: simulator bytes (page table + page
+// store) per simulated resident base page.
+const SimTickHugeBytesPerPageMax = 1.0
+
+// hugeBenchWorkload is SimTickBenchHugeConfig's driver: one 192 GB
+// (48M-page) anon region, sequentially prefaulted over the warm-up so
+// it is fully resident — 96K frames — before measurement starts. The
+// region is deliberately larger than the scatter-table bound, keeping
+// the workload side's own memory flat too.
+func hugeBenchWorkload() Workload {
+	return &workload.Profile{
+		PName:  "HugeBench",
+		TM:     metrics.ThroughputModel{CPUServiceNs: 400, StallsPerOp: 1},
+		Warmup: 512,
+		Specs: []workload.RegionSpec{{
+			Name:            "heap",
+			Type:            mem.Anon,
+			Pages:           48 << 20,
+			Weight:          1,
+			PrefaultPerTick: 96 << 10,
+		}},
+	}
 }
 
 // SimTickBenchWarmTicks is how many ticks the benchmark machine steps

@@ -101,7 +101,18 @@ func BenchmarkSimTickParallel(b *testing.B) {
 	benchSimTick(b, SimTickBenchParallelConfig())
 }
 
-func benchSimTick(b *testing.B, cfg MachineConfig) {
+// BenchmarkSimTickHuge is the terabyte-scale machine: ~1.15 TB of
+// capacity in 2 MB huge frames over the extent-compressed page table,
+// with a fully prefaulted 192 GB heap (SimTickBenchHugeConfig).
+// Per-tick cost should stay in the same range as BenchmarkSimTickLarge;
+// cmd/bench additionally gates the simulator's bytes per simulated
+// resident page (reported here as the bytes/page metric).
+func BenchmarkSimTickHuge(b *testing.B) {
+	m := benchSimTick(b, SimTickBenchHugeConfig())
+	b.ReportMetric(m.MemStats().BytesPerPage, "simbytes/page")
+}
+
+func benchSimTick(b *testing.B, cfg MachineConfig) *Machine {
 	m, err := NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -110,9 +121,13 @@ func benchSimTick(b *testing.B, cfg MachineConfig) {
 	for i := 0; i < SimTickBenchWarmTicks; i++ {
 		m.Step()
 	}
+	if failed, why := m.Failed(); failed {
+		b.Fatalf("machine failed during warm-up: %s", why)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+	return m
 }

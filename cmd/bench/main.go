@@ -1,13 +1,18 @@
 // Command bench runs the simulator's core-loop benchmarks (the same
 // machines and warm-up as BenchmarkSimTick / BenchmarkSimTickSampled /
-// BenchmarkSimTickProbed / BenchmarkSimTickTracked in bench_test.go)
-// and writes the results to
+// BenchmarkSimTickProbed / BenchmarkSimTickTracked / BenchmarkSimTickHuge
+// in bench_test.go) and writes the results to
 // BENCH_simtick.json, the
 // repo's performance-trajectory artifact. Run it from the repo root
 // after perf-relevant changes:
 //
 //	go run ./cmd/bench            # writes ./BENCH_simtick.json
 //	go run ./cmd/bench -o out.json
+//
+// The artifact records the runner's CPU count and the *resolved* worker
+// count each field ran with (the parallel field resolves WorkersAuto to
+// GOMAXPROCS, so on a 1-CPU runner it reads 1: the run was effectively
+// serial and its ns/op says nothing about sharding).
 //
 // With -check it instead compares fresh measurements against the
 // committed baseline and exits non-zero when:
@@ -23,12 +28,16 @@
 //   - tracker-on (idlepage sampled tracking) ns/op exceeds the
 //     tracker-off run by more than -tracked-tolerance (default 10%),
 //     or its allocs/op grew at all;
+//   - the terabyte-scale huge-page run (BenchmarkSimTickHuge) spends
+//     more than tppsim.SimTickHugeBytesPerPageMax simulator bytes per
+//     simulated resident page — the extent table's footprint contract,
+//     hardware-independent like the alloc gates;
 //   - on machines with ≥ 4 CPUs, the parallel large-machine run
 //     (Workers=GOMAXPROCS, BenchmarkSimTickParallel) fails to beat the
 //     serial large-machine run's ns/op — the parallel sim core must
 //     pay for itself where it claims to (results are bit-identical
 //     either way, so only wall-clock is at stake). Under 4 CPUs the
-//     gate is skipped: there is nothing to shard onto.
+//     gate is skipped (and says so): there is nothing to shard onto.
 //
 // Checking does not overwrite the baseline; refresh it with a plain run
 // when a slowdown is intentional and explained.
@@ -72,6 +81,10 @@ func main() {
 		}
 	}()
 
+	// lastMachine is the machine of the most recent bench invocation —
+	// read right after bench() returns for end-state reports (the huge
+	// run's footprint).
+	var lastMachine *tppsim.Machine
 	bench := func(cfg tppsim.MachineConfig) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
 			m, err := tppsim.NewMachine(cfg)
@@ -82,6 +95,10 @@ func main() {
 			for i := 0; i < tppsim.SimTickBenchWarmTicks; i++ {
 				m.Step()
 			}
+			if failed, why := m.Failed(); failed {
+				b.Fatalf("machine failed during warm-up: %s", why)
+			}
+			lastMachine = m
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -104,6 +121,17 @@ func main() {
 	nsLarge := nsOf(resLarge)
 	resParallel := bench(tppsim.SimTickBenchParallelConfig())
 	nsParallel := nsOf(resParallel)
+	resHuge := bench(tppsim.SimTickBenchHugeConfig())
+	nsHuge := nsOf(resHuge)
+	hugeStats := lastMachine.MemStats()
+
+	// The resolved worker counts each field actually ran with (the
+	// parallel config's WorkersAuto resolves per host), plus the host's
+	// CPU count — without these the parallel field is uninterpretable on
+	// small runners.
+	cpus := runtime.NumCPU()
+	parallelWorkers := tppsim.ResolveWorkers(tppsim.SimTickBenchParallelConfig().Workers)
+	largeWorkers := tppsim.ResolveWorkers(tppsim.SimTickBenchLargeConfig().Workers)
 
 	if *check {
 		raw, err := os.ReadFile(*baseline)
@@ -215,9 +243,20 @@ func main() {
 				res.AllocsPerOp(), resTracked.AllocsPerOp())
 			failed = true
 		}
+		// The terabyte-scale footprint gate: bytes of simulator state per
+		// simulated resident base page. Hardware-independent, so no
+		// re-measure dance.
+		fmt.Printf("SimTickHuge: %.0f ns/op; %.3f simulator bytes/page over %d resident pages (limit %.2f); %d allocs/op\n",
+			nsHuge, hugeStats.BytesPerPage, hugeStats.ResidentPages,
+			tppsim.SimTickHugeBytesPerPageMax, resHuge.AllocsPerOp())
+		if hugeStats.BytesPerPage > tppsim.SimTickHugeBytesPerPageMax {
+			fmt.Fprintf(os.Stderr, "bench: huge run spends %.3f simulator bytes per simulated page (limit %.2f)\n",
+				hugeStats.BytesPerPage, tppsim.SimTickHugeBytesPerPageMax)
+			failed = true
+		}
 		parallelRatio := nsParallel / nsLarge
-		fmt.Printf("SimTickParallel: %.0f ns/op vs serial large %.0f ns/op (%+.1f%%) on %d CPUs\n",
-			nsParallel, nsLarge, 100*(parallelRatio-1), runtime.GOMAXPROCS(0))
+		fmt.Printf("SimTickParallel: %.0f ns/op vs serial large %.0f ns/op (%+.1f%%) with %d workers on %d CPUs\n",
+			nsParallel, nsLarge, 100*(parallelRatio-1), parallelWorkers, cpus)
 		if runtime.GOMAXPROCS(0) >= 4 {
 			if parallelRatio >= 1 {
 				// Re-measure the pair once before failing, same noise logic.
@@ -231,6 +270,9 @@ func main() {
 					100*(parallelRatio-1), runtime.GOMAXPROCS(0))
 				failed = true
 			}
+		} else {
+			fmt.Printf("SimTickParallel gate skipped: %d usable CPUs < 4, the parallel run resolved to %d worker(s) — nothing to shard onto\n",
+				runtime.GOMAXPROCS(0), parallelWorkers)
 		}
 		if failed {
 			os.Exit(1)
@@ -251,8 +293,16 @@ func main() {
 		"tracked_ns_per_op":     nsTracked,
 		"tracked_allocs_per_op": resTracked.AllocsPerOp(),
 		"large_ns_per_op":       nsLarge,
+		"large_workers":         largeWorkers,
 		"parallel_ns_per_op":    nsParallel,
-		"parallel_workers":      runtime.GOMAXPROCS(0),
+		"parallel_workers":      parallelWorkers,
+		"huge_ns_per_op":        nsHuge,
+		"huge_allocs_per_op":    resHuge.AllocsPerOp(),
+		"huge_bytes_per_page":   hugeStats.BytesPerPage,
+		"huge_resident_pages":   hugeStats.ResidentPages,
+		"huge_extents":          hugeStats.Extents,
+		"cpus":                  cpus,
+		"gomaxprocs":            runtime.GOMAXPROCS(0),
 		"goos":                  runtime.GOOS,
 		"goarch":                runtime.GOARCH,
 		"go_version":            runtime.Version(),
@@ -267,9 +317,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op; tracked %.0f ns/op, %d allocs/op; large %.0f ns/op, parallel %.0f ns/op on %d CPUs -> %s\n",
+	fmt.Printf("SimTick: %.0f ns/op, %d B/op, %d allocs/op (%d iterations); sampled %.0f ns/op, %d allocs/op; probed %.0f ns/op, %d allocs/op; tracked %.0f ns/op, %d allocs/op; large %.0f ns/op, parallel %.0f ns/op (%d workers, %d CPUs); huge %.0f ns/op at %.3f bytes/page -> %s\n",
 		nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), res.N,
 		nsSampled, resSampled.AllocsPerOp(), nsProbed, resProbed.AllocsPerOp(),
 		nsTracked, resTracked.AllocsPerOp(),
-		nsLarge, nsParallel, runtime.GOMAXPROCS(0), *out)
+		nsLarge, nsParallel, parallelWorkers, cpus, nsHuge, hugeStats.BytesPerPage, *out)
 }

@@ -62,6 +62,14 @@
 //	tppsim -workload Web1 -policy tpp -faults "latency:node=1,at=600,until=1800,mult=3;migfail:prob=0.2,at=600,until=1800;seed=42"
 //	tppsim -workload Web1 -policy tpp -faults "offline:node=1,at=600" -record faulted.trace.gz
 //	tppsim -replay faulted.trace.gz -policy all
+//
+// Scale: -hugepages backs the machine with 2 MB huge frames over the
+// extent-compressed page table — the terabyte-scale configuration —
+// and -mem-stats reports the simulator's own memory footprint (extent
+// count, split/merge churn, bytes per simulated resident page):
+//
+//	tppsim -workload Cache1 -policy tpp -hugepages -mem-stats -vmstat
+//	tppsim -workload Web1 -policy tpp -mem-stats
 package main
 
 import (
@@ -73,6 +81,7 @@ import (
 	"tppsim/internal/core"
 	"tppsim/internal/fault"
 	"tppsim/internal/mem"
+	"tppsim/internal/metrics"
 	"tppsim/internal/prof"
 	"tppsim/internal/report"
 	"tppsim/internal/series"
@@ -94,6 +103,8 @@ func main() {
 		pages    = flag.Uint64("pages", workload.DefaultTotalPages, "working-set size in 4KB pages")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 1, "sim-core workers sharding the access stage (1 = serial, 0 = all CPUs; results are bit-identical for any count)")
+		hugeFl   = flag.Bool("hugepages", false, "back the machine with 2MB huge pages over the extent-compressed page table (the terabyte-scale configuration)")
+		memStats = flag.Bool("mem-stats", false, "report the simulator's own memory footprint: extent count, split/merge totals, bytes per simulated resident page")
 		vmstatFl = flag.Bool("vmstat", false, "dump /proc/vmstat-style counters (per node on multi-node machines)")
 		nodesFl  = flag.Bool("nodes", false, "print the per-node residency/counter table")
 		seriesFl = flag.Bool("series", false, "sample the per-tick per-node series plane and print flow table + sparklines")
@@ -293,6 +304,7 @@ func main() {
 			Seed:             *seed,
 			Policy:           p,
 			Workers:          cfgWorkers,
+			HugePages:        *hugeFl,
 			Minutes:          *minutes,
 			RecordTo:         *recordTo,
 			SampleEveryTicks: *sampleEv,
@@ -318,6 +330,9 @@ func main() {
 		}
 		res := m.Run()
 		fmt.Println(res.String())
+		if *memStats {
+			fmt.Print(memStatsLine(res))
+		}
 		if err := m.RecordError(); err != nil {
 			fmt.Fprintf(os.Stderr, "recording trace: %v\n", err)
 			os.Exit(1)
@@ -364,6 +379,27 @@ func main() {
 			}
 		}
 	}
+}
+
+// memStatsLine renders the simulator's own end-of-run memory footprint
+// (-mem-stats): how many bytes of simulator state each simulated
+// resident base page cost, and the extent table's shape and churn.
+func memStatsLine(res *metrics.Run) string {
+	ms := res.MemStats
+	return fmt.Sprintf("  mem-stats: %.3f sim bytes/page (table %s + store %s over %d resident pages), frame=%dp, extents=%d (splits=%d merges=%d)\n",
+		ms.BytesPerPage, sizeKB(ms.TableBytes), sizeKB(ms.StoreBytes),
+		ms.ResidentPages, ms.FramePages, ms.Extents, ms.Splits, ms.Merges)
+}
+
+// sizeKB renders a byte count with a compact unit.
+func sizeKB(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // printSeries renders the sampled plane for a terminal: a flow table

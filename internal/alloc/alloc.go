@@ -64,11 +64,16 @@ type Allocator struct {
 	// probes is the machine's probe plane (nil = no probing): allocation
 	// stalls observe their duration and fire the allocstall tracepoint.
 	probes *probe.Probes
+
+	// framePages is the base pages per allocation unit: 1 normally,
+	// mem.HugeFramePages in huge-page mode, where each PFN is a 2 MB
+	// frame and node residency is charged all-or-nothing per frame.
+	framePages uint64
 }
 
 // New returns an allocator over the machine.
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec, stat *vmstat.NodeStats) *Allocator {
-	return &Allocator{cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat}
+	return &Allocator{cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat, framePages: 1}
 }
 
 // Config returns the active policy configuration.
@@ -76,6 +81,20 @@ func (a *Allocator) Config() Config { return a.cfg }
 
 // SetProbes attaches the machine's probe plane (nil detaches).
 func (a *Allocator) SetProbes(p *probe.Probes) { a.probes = p }
+
+// SetFramePages sets the base pages charged per allocated PFN (a
+// machine property, set once by the simulator before any allocation).
+func (a *Allocator) SetFramePages(fp uint64) { a.framePages = fp }
+
+// acquireFrame charges one allocation unit of residency on the node:
+// a single page normally, a whole huge frame (all-or-nothing) in
+// huge-page mode.
+func (a *Allocator) acquireFrame(n *mem.Node, t mem.PageType) bool {
+	if a.framePages == 1 {
+		return n.Acquire(t)
+	}
+	return n.AcquireN(t, a.framePages)
+}
 
 // NodeOrder returns the node fallback order for a page of type t with the
 // given preferred node, honouring the page-type-aware policy.
@@ -128,7 +147,7 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 	// Pass 1: fast path over the fallback order.
 	for _, id := range order {
 		n := a.topo.Node(id)
-		if a.allocGateOK(n) && n.Acquire(t) {
+		if a.allocGateOK(n) && a.acquireFrame(n, t) {
 			return a.finish(t, id, 0), nil
 		}
 	}
@@ -139,7 +158,7 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 	// Pass 2: allow dipping to the min watermark.
 	for _, id := range order {
 		n := a.topo.Node(id)
-		if n.Free() > n.WM.Min && n.Acquire(t) {
+		if n.Free() > n.WM.Min && a.acquireFrame(n, t) {
 			a.wake(id)
 			return a.finish(t, id, 0), nil
 		}
@@ -149,7 +168,7 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 	var stall float64
 	if a.DirectReclaim != nil {
 		a.stat.Inc(preferred, vmstat.PgallocStall)
-		_, stall = a.DirectReclaim(preferred, 1)
+		_, stall = a.DirectReclaim(preferred, a.framePages)
 		if p := a.probes; p != nil {
 			if p.Lat != nil {
 				p.Lat.AllocStall.ObserveFloat(stall)
@@ -160,7 +179,7 @@ func (a *Allocator) AllocPage(t mem.PageType, preferred mem.NodeID) (Result, err
 		}
 	}
 	for _, id := range order {
-		if a.topo.Node(id).Acquire(t) {
+		if a.acquireFrame(a.topo.Node(id), t) {
 			a.wake(id)
 			return a.finish(t, id, stall), nil
 		}
@@ -179,10 +198,12 @@ func (a *Allocator) wake(id mem.NodeID) {
 func (a *Allocator) finish(t mem.PageType, id mem.NodeID, stall float64) Result {
 	pfn := a.store.Alloc(t, id)
 	a.vecs[id].Add(pfn, false)
+	// pgalloc_* are page-denominated: a huge frame counts all its base
+	// pages, matching how the kernel accounts THP allocations.
 	if a.topo.Node(id).Kind == mem.KindCXL {
-		a.stat.Inc(id, vmstat.PgallocCXL)
+		a.stat.Add(id, vmstat.PgallocCXL, a.framePages)
 	} else {
-		a.stat.Inc(id, vmstat.PgallocLocal)
+		a.stat.Add(id, vmstat.PgallocLocal, a.framePages)
 	}
 	// Also wake kswapd when the fast path left the node under pressure,
 	// so background reclaim keeps the headroom ahead of the next burst.
@@ -198,7 +219,11 @@ func (a *Allocator) FreePage(pfn mem.PFN) {
 	if pg.Flags.Has(mem.PGOnLRU) {
 		a.vecs[id].Remove(pfn)
 	}
-	a.topo.Node(id).Release(pg.Type)
+	if a.framePages == 1 {
+		a.topo.Node(id).Release(pg.Type)
+	} else {
+		a.topo.Node(id).ReleaseN(pg.Type, a.framePages)
+	}
 	a.store.Free(pfn)
-	a.stat.Inc(id, vmstat.PgfreeCt)
+	a.stat.Add(id, vmstat.PgfreeCt, a.framePages)
 }

@@ -21,12 +21,19 @@ type InvariantChecker struct {
 	topo  *tier.Topology
 	store *mem.Store
 	stat  *vmstat.NodeStats
+	// framePages is the base pages per store PFN (1 normally,
+	// mem.HugeFramePages in huge-page mode); node residency is in base
+	// pages, so conservation is resident == live frames * framePages.
+	framePages uint64
 }
 
 // NewInvariantChecker wires a checker over a machine's state planes.
 func NewInvariantChecker(topo *tier.Topology, store *mem.Store, stat *vmstat.NodeStats) *InvariantChecker {
-	return &InvariantChecker{topo: topo, store: store, stat: stat}
+	return &InvariantChecker{topo: topo, store: store, stat: stat, framePages: 1}
 }
+
+// SetFramePages sets the base pages each store PFN covers.
+func (c *InvariantChecker) SetFramePages(fp uint64) { c.framePages = fp }
 
 // Check returns the first violated invariant, or nil.
 func (c *InvariantChecker) Check() error {
@@ -37,7 +44,7 @@ func (c *InvariantChecker) Check() error {
 			return fmt.Errorf("fault: node %d is offline but holds %d resident pages", n.ID, n.Resident())
 		}
 	}
-	if live := uint64(c.store.Live()); resident != live {
+	if live := uint64(c.store.Live()) * c.framePages; resident != live {
 		return fmt.Errorf("fault: page counts diverged: nodes hold %d resident, store has %d live", resident, live)
 	}
 	var sum vmstat.Snapshot

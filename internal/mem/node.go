@@ -138,6 +138,19 @@ func (n *Node) Acquire(t PageType) bool {
 	return true
 }
 
+// AcquireN consumes count free pages of type t as one all-or-nothing
+// unit — the huge-frame analogue of Acquire. It reports false (and
+// changes nothing) when fewer than count pages are free, so a partial
+// frame can never be charged.
+func (n *Node) AcquireN(t PageType, count uint64) bool {
+	if n.resident+count > n.Capacity {
+		return false
+	}
+	n.resident += count
+	n.residentByType[t] += count
+	return true
+}
+
 // Release returns one page of type t to the free pool. It panics on
 // underflow, which would indicate double-free or type-accounting bugs.
 func (n *Node) Release(t PageType) {
@@ -146,6 +159,16 @@ func (n *Node) Release(t PageType) {
 	}
 	n.resident--
 	n.residentByType[t]--
+}
+
+// ReleaseN returns count pages of type t to the free pool — the
+// huge-frame analogue of Release. It panics on underflow.
+func (n *Node) ReleaseN(t PageType, count uint64) {
+	if n.resident < count || n.residentByType[t] < count {
+		panic(fmt.Sprintf("mem: release underflow on node %d type %s (count=%d)", n.ID, t, count))
+	}
+	n.resident -= count
+	n.residentByType[t] -= count
 }
 
 // BelowLow reports whether the node is under classic memory pressure

@@ -11,17 +11,30 @@
 // placement algorithms observe.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // PageSize is the size of a base page in bytes. TPP is page-size agnostic;
 // the simulator uses 4 KB throughout.
 const PageSize = 4096
 
-// PFN identifies a logical page for its whole lifetime.
+// PFN identifies a logical page for its whole lifetime. In huge-page
+// mode (tier.Spec.HugePages) a PFN instead identifies one 2 MB frame of
+// HugeFramePages base pages — the Store, LRU lists, and reverse map all
+// shrink by that factor while node capacity stays in base pages.
 type PFN uint32
 
 // NilPFN is the sentinel "no page" value.
 const NilPFN PFN = ^PFN(0)
+
+// HugeFrameShift is log2 of the base pages per 2 MB huge frame
+// (2 MB / 4 KB = 512 = 1<<9).
+const HugeFrameShift = 9
+
+// HugeFramePages is the number of base pages in one 2 MB huge frame.
+const HugeFramePages = 1 << HugeFrameShift
 
 // PageType classifies a page the way the placement policy cares about
 // (§3.3, §5.4): anonymous memory (stack/heap/mmap), file-backed page cache,
@@ -171,3 +184,11 @@ func (s *Store) Len() int { return len(s.pages) }
 
 // Live returns the number of currently allocated pages.
 func (s *Store) Live() int { return len(s.pages) - len(s.free) }
+
+// FootprintBytes returns the store's resident simulator memory: the page
+// array plus the free list, counted at capacity (what the process
+// actually holds, not just what is in use).
+func (s *Store) FootprintBytes() uint64 {
+	return uint64(cap(s.pages))*uint64(unsafe.Sizeof(Page{})) +
+		uint64(cap(s.free))*uint64(unsafe.Sizeof(PFN(0)))
+}

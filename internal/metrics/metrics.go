@@ -231,6 +231,38 @@ type Run struct {
 	// and, when the oracle ran, hot-set precision/recall against exact
 	// access counts. Nil for tracker-off runs.
 	Tracker *tracker.RunStats
+
+	// MemStats is the simulator's own memory footprint at end of run —
+	// the scaling story for terabyte-scale machines. Always populated.
+	MemStats MemStats
+}
+
+// MemStats reports how much memory the simulator itself spent modeling
+// the machine: the page-table representation (extents + records + rmap
+// in extent mode, the dense maps otherwise), the page store, and the
+// headline bytes-per-simulated-resident-page ratio. Extent counts and
+// split/merge totals are zero in dense mode.
+type MemStats struct {
+	// Extents is the number of live extents in the page table at end of
+	// run (0 in dense mode).
+	Extents int
+	// Splits and Merges are the cumulative extent split/merge totals —
+	// the same churn the extent_split/extent_merge vmstat counters carry.
+	Splits uint64
+	Merges uint64
+	// FramePages is the base pages per store PFN (1, or 512 with
+	// HugePages).
+	FramePages uint64
+	// ResidentPages is the simulated resident footprint in base pages at
+	// end of run.
+	ResidentPages uint64
+	// TableBytes and StoreBytes are the page table's and page store's
+	// simulator memory, counted at slice capacity.
+	TableBytes uint64
+	StoreBytes uint64
+	// BytesPerPage is (TableBytes+StoreBytes)/ResidentPages — the
+	// scaling headline (0 when nothing is resident).
+	BytesPerPage float64
 }
 
 // NodeResult is one memory node's end-of-run accounting: identity,

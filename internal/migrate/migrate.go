@@ -65,6 +65,11 @@ type Config struct {
 	// is completely full. This keeps a promotion from eating the
 	// emergency reserve.
 	WatermarkGuard bool
+	// HugeCostFactor scales PerPageNs into the cost of moving one 2 MB
+	// frame as a unit in huge-page mode (remap at PMD granularity plus
+	// the 512-page copy, amortized far below 512 separate moves).
+	// Default 8, ~24 µs per frame at the default PerPageNs.
+	HugeCostFactor float64
 }
 
 // FaultHook lets the fault-injection plane veto migration attempts.
@@ -103,6 +108,11 @@ type Engine struct {
 	// multitier example read these to show traffic per hop.
 	demotedInto  []uint64
 	promotedFrom []uint64
+
+	// framePages is the base pages moved per PFN: 1 normally,
+	// mem.HugeFramePages in huge-page mode, where one migration moves a
+	// whole 2 MB frame (one charge, page-denominated counters scaled).
+	framePages uint64
 }
 
 // NewEngine returns a migration engine. vecs must be indexed by NodeID.
@@ -113,11 +123,28 @@ func NewEngine(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Ve
 	if cfg.RefsFailProb == 0 {
 		cfg.RefsFailProb = 0.002
 	}
+	if cfg.HugeCostFactor == 0 {
+		cfg.HugeCostFactor = 8
+	}
 	return &Engine{
 		cfg: cfg, store: store, topo: topo, vecs: vecs, stat: stat, rng: rng,
 		demotedInto:  make([]uint64, topo.NumNodes()),
 		promotedFrom: make([]uint64, topo.NumNodes()),
+		framePages:   1,
 	}
+}
+
+// SetFramePages sets the base pages each PFN covers (a machine
+// property, set once by the simulator before any migration).
+func (e *Engine) SetFramePages(fp uint64) { e.framePages = fp }
+
+// moveCost returns the charge for migrating one PFN: PerPageNs for a
+// base page, the amortized whole-frame cost in huge-page mode.
+func (e *Engine) moveCost() float64 {
+	if e.framePages == 1 {
+		return e.cfg.PerPageNs
+	}
+	return e.cfg.PerPageNs * e.cfg.HugeCostFactor
 }
 
 // SetProbes attaches the machine's probe plane (nil detaches).
@@ -203,7 +230,7 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 	if !full && e.cfg.WatermarkGuard && dn.Free() <= dn.WM.Min {
 		full = true
 	}
-	if full || !dn.Acquire(pg.Type) {
+	if full || !dn.AcquireN(pg.Type, e.framePages) {
 		e.vecs[src].Putback(pfn)
 		e.fail(src, reason)
 		if reason == Promotion {
@@ -212,8 +239,14 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 		return 0, ErrTargetFull
 	}
 
-	// Step 4: move.
-	e.topo.Node(src).Release(pg.Type)
+	// Step 4: move. Page-denominated counters charge every base page the
+	// PFN covers (fp base pages per frame in huge mode).
+	fp := e.framePages
+	if fp == 1 {
+		e.topo.Node(src).Release(pg.Type)
+	} else {
+		e.topo.Node(src).ReleaseN(pg.Type, fp)
+	}
 	pg.Node = dest
 	switch reason {
 	case Demotion:
@@ -223,45 +256,51 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 		pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 		e.vecs[dest].Add(pfn, false)
 		if pg.Type.IsFileLike() {
-			e.stat.Inc(src, vmstat.PgdemoteFile)
+			e.stat.Add(src, vmstat.PgdemoteFile, fp)
 		} else {
-			e.stat.Inc(src, vmstat.PgdemoteAnon)
+			e.stat.Add(src, vmstat.PgdemoteAnon, fp)
 		}
-		e.demotedInto[dest]++
+		e.demotedInto[dest] += fp
 		if e.topo.TierOf(dest) >= 2 {
-			e.stat.Inc(dest, vmstat.PgdemoteFar)
+			e.stat.Add(dest, vmstat.PgdemoteFar, fp)
 		}
 	case Promotion:
 		if pg.Flags.Has(mem.PGDemoted) {
 			// Ping-pong: a demoted page came straight back (§5.5).
-			e.stat.Inc(dest, vmstat.PgpromoteDemoted)
+			e.stat.Add(dest, vmstat.PgpromoteDemoted, fp)
 		}
 		pg.Flags = pg.Flags.Clear(mem.PGDemoted)
 		e.vecs[dest].Add(pfn, true)
 		if pg.Type.IsFileLike() {
-			e.stat.Inc(dest, vmstat.PgpromoteFile)
+			e.stat.Add(dest, vmstat.PgpromoteFile, fp)
 		} else {
-			e.stat.Inc(dest, vmstat.PgpromoteAnon)
+			e.stat.Add(dest, vmstat.PgpromoteAnon, fp)
 		}
-		e.stat.Inc(dest, vmstat.PgpromoteSuccess)
-		e.promotedFrom[src]++
+		e.stat.Add(dest, vmstat.PgpromoteSuccess, fp)
+		e.promotedFrom[src] += fp
 		if e.topo.TierOf(src) >= 2 {
-			e.stat.Inc(src, vmstat.PgpromoteFar)
+			e.stat.Add(src, vmstat.PgpromoteFar, fp)
 		}
 	}
-	e.stat.Inc(dest, vmstat.PgmigrateSuccess)
-	e.movedPages++
-	e.windowPages++
+	e.stat.Add(dest, vmstat.PgmigrateSuccess, fp)
+	if fp > 1 {
+		// The whole frame moved as one unit — the THP stayed intact
+		// across the move (the collapse-preserving path).
+		e.stat.Inc(dest, vmstat.ThpCollapse)
+	}
+	e.movedPages += fp
+	e.windowPages += fp
 	if e.faults != nil {
 		e.faults.OnMigrateSuccess(pfn)
 	}
+	cost := e.moveCost()
 	if p := e.probes; p != nil {
 		promo := reason == Promotion
 		if p.Lat != nil {
 			if promo {
-				p.Lat.Promote.ObserveFloat(e.cfg.PerPageNs)
+				p.Lat.Promote.ObserveFloat(cost)
 			} else {
-				p.Lat.Demote.ObserveFloat(e.cfg.PerPageNs)
+				p.Lat.Demote.ObserveFloat(cost)
 			}
 		}
 		hook := &p.OnDemote
@@ -271,16 +310,18 @@ func (e *Engine) Migrate(pfn mem.PFN, dest mem.NodeID, reason Reason) (costNs fl
 		if hook.Active() {
 			hook.Fire(probe.MigrateEvent{
 				PFN: uint64(pfn), Src: int(src), Dst: int(dest),
-				Promotion: promo, CostNs: e.cfg.PerPageNs,
+				Promotion: promo, CostNs: cost,
 			})
 		}
 	}
-	return e.cfg.PerPageNs, nil
+	return cost, nil
 }
 
 func (e *Engine) fail(src mem.NodeID, reason Reason) {
-	e.stat.Inc(src, vmstat.PgmigrateFail)
+	// pgmigrate_fail is page-denominated like pgmigrate_success: a failed
+	// frame move charges every base page that failed to move.
+	e.stat.Add(src, vmstat.PgmigrateFail, e.framePages)
 	if reason == Demotion {
-		e.stat.Inc(src, vmstat.PgdemoteFail)
+		e.stat.Add(src, vmstat.PgdemoteFail, e.framePages)
 	}
 }

@@ -102,6 +102,12 @@ type Balancer struct {
 	cursorRegion int
 	cursorOffset pagetable.VPN
 	sinceScan    uint64
+
+	// framePages is the sampling stride: 1 normally,
+	// mem.HugeFramePages in huge-page mode, where one poisoned PMD entry
+	// covers a whole 2 MB frame and the next touch anywhere in it raises
+	// the hint fault.
+	framePages uint64
 }
 
 // New wires a balancer over the machine.
@@ -113,11 +119,15 @@ func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 		cxl[i] = topo.Node(mem.NodeID(i)).Kind == mem.KindCXL
 		top[i] = topo.TierOf(mem.NodeID(i)) == 0
 	}
-	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as, nodeCXL: cxl, nodeTop: top}
+	return &Balancer{cfg: cfg.withDefaults(), store: store, topo: topo, vecs: vecs, stat: stat, engine: engine, as: as, nodeCXL: cxl, nodeTop: top, framePages: 1}
 }
 
 // Config returns the balancer configuration.
 func (b *Balancer) Config() Config { return b.cfg }
+
+// SetFramePages sets the base pages each sampled PFN covers (a machine
+// property, set once by the simulator before any scan runs).
+func (b *Balancer) SetFramePages(fp uint64) { b.framePages = fp }
 
 // Tick advances the scan clock; on period boundaries it runs one sampling
 // scan. Returns the background CPU consumed.
@@ -149,6 +159,11 @@ func (b *Balancer) scan() float64 {
 	marked := 0
 	visited := 0
 	// Bound the walk to one full pass over the address space per scan.
+	// In huge-page mode the cursor strides one frame per step: poisoning
+	// a PMD-mapped THP is one PTE-level operation covering the whole
+	// frame, so ScanSizePages (in base pages) covers 512x the VA per
+	// poison and the hint-fault sampling runs at huge granularity.
+	fp := b.framePages
 	totalPages := b.as.TotalPages()
 	spent := 0.0
 	for marked < b.cfg.ScanSizePages && visited < int(totalPages) {
@@ -159,8 +174,8 @@ func (b *Balancer) scan() float64 {
 			continue
 		}
 		v := r.Start + b.cursorOffset
-		b.cursorOffset++
-		visited++
+		b.cursorOffset += pagetable.VPN(fp)
+		visited += int(fp)
 		pfn, ok := b.as.Translate(v)
 		if !ok {
 			continue
@@ -173,8 +188,8 @@ func (b *Balancer) scan() float64 {
 			continue
 		}
 		pg.Flags = pg.Flags.Set(mem.PGHinted)
-		b.stat.Inc(pg.Node, vmstat.NumaPagesScanned)
-		marked++
+		b.stat.Add(pg.Node, vmstat.NumaPagesScanned, fp)
+		marked += int(fp)
 		spent += perPageNs
 	}
 	return spent

@@ -75,6 +75,9 @@ type regionState struct {
 	Region
 	pfns   []mem.PFN   // index: v - Start; mem.NilPFN = not mapped
 	estate []EvictKind // valid only where pfns[i] == mem.NilPFN
+	// exts is the extent-mode representation (see extent.go): a sorted,
+	// disjoint run list replacing the dense arrays above, which stay nil.
+	exts []extent
 }
 
 // AddressSpace is one process's page table, including the reverse map
@@ -112,6 +115,17 @@ type AddressSpace struct {
 	// Mmap/Munmap (rare) for O(1) hot-path lookups.
 	bucket []int32
 	shift  uint
+
+	// Extent mode (NewExtent): regions hold sorted extent lists instead
+	// of dense per-page arrays, and PFNs address frames of
+	// 1<<frameShift base pages (frameShift 0 = per-page extents,
+	// mem.HugeFrameShift = 2 MB huge frames). splits/merges count the
+	// table's lazy-divergence churn.
+	ext        bool
+	frameShift uint
+	framePages uint64 // 1 << frameShift
+	splits     uint64
+	merges     uint64
 }
 
 // indexBuckets sizes the coarse lookup table; 1024 four-byte entries keep
@@ -153,14 +167,21 @@ func New(pid int) *AddressSpace {
 // not populated; the workload faults them in via MapPage on first touch,
 // mirroring demand paging.
 func (as *AddressSpace) Mmap(pages uint64, t mem.PageType) Region {
-	r := Region{Start: as.nextVPN, Pages: pages, Type: t}
-	rs := regionState{
-		Region: r,
-		pfns:   make([]mem.PFN, pages),
-		estate: make([]EvictKind, pages),
+	if as.ext && as.frameShift > 0 {
+		// Huge frames: align region starts so every frame's VPN span
+		// stays inside one region (a no-op at frameShift 0, keeping the
+		// extent table's layout identical to the dense one).
+		fp := VPN(as.framePages)
+		as.nextVPN = (as.nextVPN + fp - 1) &^ (fp - 1)
 	}
-	for i := range rs.pfns {
-		rs.pfns[i] = mem.NilPFN
+	r := Region{Start: as.nextVPN, Pages: pages, Type: t}
+	rs := regionState{Region: r}
+	if !as.ext {
+		rs.pfns = make([]mem.PFN, pages)
+		rs.estate = make([]EvictKind, pages)
+		for i := range rs.pfns {
+			rs.pfns[i] = mem.NilPFN
+		}
 	}
 	// nextVPN only grows, so appending keeps the index sorted by Start.
 	as.regions = append(as.regions, rs)
@@ -222,6 +243,16 @@ func (as *AddressSpace) Munmap(r Region) []mem.PFN {
 	}
 	rs := &as.regions[idx]
 	var pfns []mem.PFN
+	if as.ext {
+		pfns = as.munmapExtents(rs)
+		as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+		as.starts = append(as.starts[:idx], as.starts[idx+1:]...)
+		as.ends = append(as.ends[:idx], as.ends[idx+1:]...)
+		as.totalPages -= r.Pages
+		as.gen++
+		as.rebuildIndex()
+		return pfns
+	}
 	for i, pfn := range rs.pfns {
 		if pfn != mem.NilPFN {
 			pfns = append(pfns, pfn)
@@ -251,6 +282,10 @@ func (as *AddressSpace) growRmap(pfn mem.PFN) {
 // indicate a fault-handling bug) and on VPNs outside every region. Any
 // eviction record for the VPN is cleared: the page is resident again.
 func (as *AddressSpace) MapPage(v VPN, pfn mem.PFN) {
+	if as.ext {
+		as.MapRange(v, pfn, 1)
+		return
+	}
 	rs := as.regionOf(v)
 	if rs == nil {
 		panic(fmt.Sprintf("pagetable: map of VPN %d outside any region", v))
@@ -270,7 +305,13 @@ func (as *AddressSpace) MapPage(v VPN, pfn mem.PFN) {
 }
 
 // UnmapPage removes a translation, returning the PFN that was mapped.
+// In huge-frame extent mode the whole frame chunk containing v is
+// unmapped (a frame translates as one unit); at frameShift 0 that is
+// exactly v, matching the dense table.
 func (as *AddressSpace) UnmapPage(v VPN) (mem.PFN, bool) {
+	if as.ext {
+		return as.unmapPageExtent(v)
+	}
 	rs := as.regionOf(v)
 	if rs == nil {
 		return mem.NilPFN, false
@@ -307,6 +348,9 @@ func (as *AddressSpace) UnmapPFN(pfn mem.PFN, kind EvictKind) (VPN, bool) {
 	if v == nilVPN {
 		return 0, false
 	}
+	if as.ext {
+		return as.unmapPFNExtent(pfn, v, kind)
+	}
 	rs := as.regionOf(v)
 	i := v - rs.Start
 	rs.pfns[i] = mem.NilPFN
@@ -323,7 +367,16 @@ func (as *AddressSpace) UnmapPFN(pfn mem.PFN, kind EvictKind) (VPN, bool) {
 // Evicted reports whether (and how) the VPN's page was evicted.
 func (as *AddressSpace) Evicted(v VPN) EvictKind {
 	rs := as.regionOf(v)
-	if rs == nil || rs.pfns[v-rs.Start] != mem.NilPFN {
+	if rs == nil {
+		return EvictNone
+	}
+	if as.ext {
+		if e := findExtent(rs.exts, v); e != nil && e.pfn == mem.NilPFN {
+			return e.state
+		}
+		return EvictNone
+	}
+	if rs.pfns[v-rs.Start] != mem.NilPFN {
 		return EvictNone
 	}
 	return rs.estate[v-rs.Start]
@@ -350,6 +403,12 @@ func (as *AddressSpace) Translate(v VPN) (mem.PFN, bool) {
 	if rs == nil {
 		return mem.NilPFN, false
 	}
+	if as.ext {
+		if e := findExtent(rs.exts, v); e != nil && e.pfn != mem.NilPFN {
+			return e.pfn + mem.PFN((v-e.start)>>as.frameShift), true
+		}
+		return mem.NilPFN, false
+	}
 	pfn := rs.pfns[v-rs.Start]
 	return pfn, pfn != mem.NilPFN
 }
@@ -359,6 +418,10 @@ func (as *AddressSpace) Translate(v VPN) (mem.PFN, bool) {
 // with the region cache and index state held in locals for the whole
 // batch — the simulator's access loop resolves a full tick in one call.
 func (as *AddressSpace) TranslateBatch(vs []VPN, out []mem.PFN) {
+	if as.ext {
+		as.translateBatchExtent(vs, out)
+		return
+	}
 	starts, bucket, shift := as.starts, as.bucket, as.shift
 	ends, regions := as.ends, as.regions
 	for i, v := range vs {
@@ -435,8 +498,23 @@ func (as *AddressSpace) RegionOf(v VPN) (Region, bool) {
 	return Region{}, false
 }
 
-// ForEachMapped visits every (VPN, PFN) pair in ascending VPN order.
+// ForEachMapped visits every (VPN, PFN) pair in ascending VPN order. In
+// huge-frame extent mode every VPN of a mapped frame is visited with the
+// frame's PFN.
 func (as *AddressSpace) ForEachMapped(fn func(v VPN, pfn mem.PFN)) {
+	if as.ext {
+		for ri := range as.regions {
+			for _, e := range as.regions[ri].exts {
+				if e.pfn == mem.NilPFN {
+					continue
+				}
+				for o := uint64(0); o < e.pages; o++ {
+					fn(e.start+VPN(o), e.pfn+mem.PFN(o>>as.frameShift))
+				}
+			}
+		}
+		return
+	}
 	for _, rs := range as.regions {
 		for i, pfn := range rs.pfns {
 			if pfn != mem.NilPFN {

@@ -105,6 +105,12 @@ type Daemon struct {
 	// passes fire the wakeup tracepoint and scan batches observe their
 	// size into the ReclaimBatch histogram.
 	probes *probe.Probes
+
+	// framePages is the base pages per LRU entry: 1 normally,
+	// mem.HugeFramePages in huge-page mode, where scanning/stealing one
+	// entry covers a whole 2 MB frame (counters and IO costs scale;
+	// per-entry CPU costs like the scan itself do not).
+	framePages uint64
 }
 
 // New wires a reclaim daemon. swapd may be nil (the paper's evaluation
@@ -113,20 +119,25 @@ type Daemon struct {
 func New(cfg Config, store *mem.Store, topo *tier.Topology, vecs []*lru.Vec,
 	stat *vmstat.NodeStats, engine *migrate.Engine, swapd *swap.Device, as *pagetable.AddressSpace) *Daemon {
 	return &Daemon{
-		cfg:    cfg.withDefaults(),
-		store:  store,
-		topo:   topo,
-		vecs:   vecs,
-		stat:   stat,
-		engine: engine,
-		swapd:  swapd,
-		as:     as,
-		woken:  make([]bool, topo.NumNodes()),
+		cfg:        cfg.withDefaults(),
+		store:      store,
+		topo:       topo,
+		vecs:       vecs,
+		stat:       stat,
+		engine:     engine,
+		swapd:      swapd,
+		as:         as,
+		woken:      make([]bool, topo.NumNodes()),
+		framePages: 1,
 	}
 }
 
 // Config returns the daemon's configuration.
 func (d *Daemon) Config() Config { return d.cfg }
+
+// SetFramePages sets the base pages each LRU entry covers (a machine
+// property, set once by the simulator before any reclaim runs).
+func (d *Daemon) SetFramePages(fp uint64) { d.framePages = fp }
 
 // SetProbes attaches the machine's probe plane (nil detaches).
 func (d *Daemon) SetProbes(p *probe.Probes) { d.probes = p }
@@ -240,7 +251,8 @@ func (d *Daemon) SwapOutColdest(id mem.NodeID, want int) (int, float64) {
 			}
 			d.evict(n, vec, pfn, pagetable.EvictSwap)
 			spent += cost
-			swapped++
+			// want/swapped are in base pages; one entry covers a frame.
+			swapped += int(d.framePages)
 		}
 	}
 	return swapped, spent
@@ -327,10 +339,10 @@ func (d *Daemon) ageNode(n *mem.Node, vec *lru.Vec) float64 {
 				// Heavily used page: rotate within active, keep it hot.
 				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 				vec.RotateToFront(tail)
-				d.stat.Inc(n.ID, vmstat.PgRotated)
+				d.stat.Add(n.ID, vmstat.PgRotated, d.framePages)
 			} else {
 				vec.Deactivate(tail)
-				d.stat.Inc(n.ID, vmstat.PgdeactivateCt)
+				d.stat.Add(n.ID, vmstat.PgdeactivateCt, d.framePages)
 			}
 			spent += deactivateNs
 		}
@@ -370,7 +382,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				return spent
 			}
 			visited++
-			d.stat.Inc(n.ID, scanCounter)
+			d.stat.Add(n.ID, scanCounter, d.framePages)
 			spent += scanNs
 			pg := d.store.Page(pfn)
 			if pg.Flags.Has(mem.PGUnevictable) {
@@ -381,7 +393,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				// Second chance: recently touched, rotate away.
 				pg.Flags = pg.Flags.Clear(mem.PGReferenced)
 				vec.RotateToFront(pfn)
-				d.stat.Inc(n.ID, vmstat.PgRotated)
+				d.stat.Add(n.ID, vmstat.PgRotated, d.framePages)
 				continue
 			}
 			// Victim. Walk the demotion cascade (§5.1, generalized:
@@ -395,7 +407,7 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				cost, err := d.engine.Migrate(pfn, dst, migrate.Demotion)
 				if err == nil {
 					spent += cost
-					d.stat.Inc(n.ID, demoteCounter)
+					d.stat.Add(n.ID, demoteCounter, d.framePages)
 					demoted = true
 				}
 				if err != migrate.ErrTargetFull {
@@ -406,12 +418,12 @@ func (d *Daemon) shrinkList(n *mem.Node, vec *lru.Vec, id lru.ListID, demoteTo [
 				continue
 			}
 			if len(demoteTo) > 0 {
-				d.stat.Inc(n.ID, vmstat.PgdemoteFallbck)
+				d.stat.Add(n.ID, vmstat.PgdemoteFallbck, d.framePages)
 			}
 			cost, ok := d.defaultReclaim(n, vec, pfn)
 			spent += cost
 			if ok {
-				d.stat.Inc(n.ID, stealCounter)
+				d.stat.Add(n.ID, stealCounter, d.framePages)
 			}
 		}
 	}
@@ -425,9 +437,11 @@ func (d *Daemon) defaultReclaim(n *mem.Node, vec *lru.Vec, pfn mem.PFN) (float64
 	pg := d.store.Page(pfn)
 	switch {
 	case pg.Type == mem.File:
-		cost := d.cfg.DropCleanNs
+		// Per-page IO costs scale with the frame; a huge frame pays the
+		// writeback for all its base pages.
+		cost := d.cfg.DropCleanNs * float64(d.framePages)
 		if pg.Flags.Has(mem.PGDirty) {
-			cost = d.cfg.WritebackNs
+			cost = d.cfg.WritebackNs * float64(d.framePages)
 		}
 		d.evict(n, vec, pfn, pagetable.EvictFile)
 		return cost, true
@@ -448,9 +462,16 @@ func (d *Daemon) defaultReclaim(n *mem.Node, vec *lru.Vec, pfn mem.PFN) (float64
 }
 
 // evict removes the page from memory: unmap, unlink, release, free.
+// In huge-page mode the whole frame goes — default reclaim (swap-out or
+// pagecache drop) cannot keep a THP intact, so the eviction is a split.
 func (d *Daemon) evict(n *mem.Node, vec *lru.Vec, pfn mem.PFN, kind pagetable.EvictKind) {
 	d.as.UnmapPFN(pfn, kind)
 	vec.Remove(pfn)
-	n.Release(d.store.Page(pfn).Type)
+	if d.framePages == 1 {
+		n.Release(d.store.Page(pfn).Type)
+	} else {
+		n.ReleaseN(d.store.Page(pfn).Type, d.framePages)
+		d.stat.Inc(n.ID, vmstat.ThpSplit)
+	}
 	d.store.Free(pfn)
 }

@@ -32,6 +32,7 @@ func newFaultDriver(m *Machine, s fault.Schedule) *faultDriver {
 		retrier: fault.NewRetrier(s.Seed, m.stat),
 		checker: fault.NewInvariantChecker(m.topo, m.store, m.stat),
 	}
+	d.checker.SetFramePages(m.framePages)
 	m.engine.SetFaultHook(d.retrier)
 	return d
 }

@@ -79,6 +79,12 @@ func resolveWorkers(w int) int {
 	return w
 }
 
+// ResolveWorkers reports the concrete worker count a Config.Workers
+// value resolves to on this host (0 and 1 → serial, WorkersAuto →
+// GOMAXPROCS). Exported so tooling (cmd/bench) can record the resolved
+// count alongside results instead of the symbolic knob.
+func ResolveWorkers(w int) int { return resolveWorkers(w) }
+
 // stageShard is one worker's private scratch, padded so adjacent
 // shards' hot words never share a cache line.
 type stageShard struct {

@@ -62,12 +62,12 @@ func TestSampledSeriesGolden(t *testing.T) {
 		{
 			name:   "cxl-2node",
 			ratio:  [2]uint64{2, 1},
-			digest: "300x2 h=40621f3e4da4b3a3 promo0=4164 resid0end=10431",
+			digest: "300x2 h=7c5c0eb7a8a92da3 promo0=4164 resid0end=10431",
 		},
 		{
 			name:   "expander-3tier",
 			topo:   tier.PresetExpander(2, 1, 1),
-			digest: "300x2 h=4e284ad431968489 promo0=2298 resid0end=7810",
+			digest: "300x2 h=9487f07576d5d909 promo0=2298 resid0end=7810",
 		},
 	}
 	for _, tc := range cases {

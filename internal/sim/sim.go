@@ -101,6 +101,15 @@ type Config struct {
 	// store outgrows the cache; small machines should stay serial.
 	Workers int
 
+	// HugePages backs the machine with 2 MB huge pages over an
+	// extent-compressed page table: aligned 512-page frames allocate,
+	// translate, migrate, and age as single units (one LRU entry, one
+	// migration charge, hint-fault sampling at huge granularity), and
+	// simulator state shrinks ~512x per resident page — the
+	// terabyte-scale configuration. Equivalent to Topology.HugePages.
+	// Off — the default — keeps runs bit-identical to previous builds.
+	HugePages bool
+
 	// RecordEveryTicks sets the series resolution (default 30).
 	RecordEveryTicks int
 	// SampleEveryTicks enables the per-tick per-node series plane: every
@@ -250,6 +259,16 @@ type Machine struct {
 	prevPromote uint64
 	prevDemote  uint64
 
+	// Huge-page mode (Config.HugePages / Topology.HugePages): every PFN
+	// is a 2 MB frame of framePages base pages over an extent page
+	// table. prevSplits/prevMerges carry the extent-table churn into the
+	// vmstat extent_split/extent_merge counters per tick.
+	huge       bool
+	frameShift uint
+	framePages uint64
+	prevSplits uint64
+	prevMerges uint64
+
 	// Per-tick per-node sampling (Config.SampleEveryTicks): nil when
 	// off; levelsBuf is reused so sample ticks allocate nothing.
 	sampler   *series.Sampler
@@ -313,14 +332,30 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 
+	// Huge-page mode sizes the store in frames (512 base pages per PFN)
+	// and swaps the dense page table for the extent representation; off,
+	// both choices reduce to exactly the previous machine.
+	huge := cfg.HugePages || topo.HugePages()
+	frameShift := uint(0)
+	if huge {
+		frameShift = mem.HugeFrameShift
+	}
+	framePages := uint64(1) << frameShift
 	m := &Machine{
-		cfg:   cfg,
-		topo:  topo,
-		store: mem.NewStore(int(topo.TotalCapacity())),
-		stat:  vmstat.NewNodeStats(topo.NumNodes()),
-		as:    pagetable.New(1),
-		wl:    cfg.Workload,
-		rng:   xrand.New(cfg.Seed ^ 0x7070), // kernel-side randomness
+		cfg:        cfg,
+		topo:       topo,
+		store:      mem.NewStore(int((topo.TotalCapacity() + framePages - 1) >> frameShift)),
+		stat:       vmstat.NewNodeStats(topo.NumNodes()),
+		wl:         cfg.Workload,
+		rng:        xrand.New(cfg.Seed ^ 0x7070), // kernel-side randomness
+		huge:       huge,
+		frameShift: frameShift,
+		framePages: framePages,
+	}
+	if huge {
+		m.as = pagetable.NewExtent(1, frameShift)
+	} else {
+		m.as = pagetable.New(1)
 	}
 	m.wlRNG = xrand.New(cfg.Seed)
 	m.vecs = make([]*lru.Vec, topo.NumNodes())
@@ -337,6 +372,16 @@ func New(cfg Config) (*Machine, error) {
 	m.daemon = reclaim.New(p.Reclaim, m.store, topo, m.vecs, m.stat, m.engine, m.swapd, m.as)
 	m.allocator.WakeKswapd = m.daemon.Wake
 	m.allocator.DirectReclaim = m.daemon.DirectReclaim
+	if huge {
+		// Frame granularity is a machine property: every subsystem that
+		// charges residency or page-denominated counters scales by it.
+		m.engine.SetFramePages(framePages)
+		m.allocator.SetFramePages(framePages)
+		m.daemon.SetFramePages(framePages)
+		if m.swapd != nil {
+			m.swapd.SetFramePages(framePages)
+		}
+	}
 
 	nb := p.NUMAB
 	if p.AutoTiering != nil {
@@ -351,6 +396,9 @@ func New(cfg Config) (*Machine, error) {
 		nb.ScanSizePages = int(cfg.Workload.TotalPages() / 32)
 	}
 	m.balancer = numab.New(nb, m.store, topo, m.vecs, m.stat, m.engine, m.as)
+	if huge {
+		m.balancer.SetFramePages(framePages)
+	}
 	m.numabOn = nb.Enabled
 	// The balancer's hint-fault sampling is one tracker among several:
 	// the daemon phase drives its scan clock through the Tracker
@@ -537,13 +585,31 @@ func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
 	}
 	pfn := res.PFN
 	m.store.Page(pfn).Home = home
-	m.as.MapPage(v, pfn)
+	if m.huge {
+		// Huge-frame fault: the whole aligned 512-page run maps as one
+		// extent (regions are frame-aligned in extent mode, so base never
+		// falls before r.Start); a partial tail frame still charged the
+		// full frame at the allocator.
+		base := v &^ pagetable.VPN(m.framePages-1)
+		span := uint64(r.End() - base)
+		if span > m.framePages {
+			span = m.framePages
+		}
+		m.as.MapRange(base, pfn, span)
+		m.stat.Inc(res.Node, vmstat.ThpFaultAlloc)
+		m.cur.AllocPages += m.framePages
+		if m.topo.Node(res.Node).Kind == mem.KindLocal {
+			m.cur.AllocLocal += m.framePages
+		}
+	} else {
+		m.as.MapPage(v, pfn)
+		m.cur.AllocPages++
+		if m.topo.Node(res.Node).Kind == mem.KindLocal {
+			m.cur.AllocLocal++
+		}
+	}
 	event += minorFaultNs + res.StallNs
 	m.cur.StallNs += res.StallNs
-	m.cur.AllocPages++
-	if m.topo.Node(res.Node).Kind == mem.KindLocal {
-		m.cur.AllocLocal++
-	}
 	switch evict {
 	case pagetable.EvictSwap:
 		// Major fault: the page comes back from the swap pool.
@@ -551,10 +617,11 @@ func (m *Machine) fault(v pagetable.VPN) (mem.PFN, float64) {
 		event += cost
 		m.cur.StallNs += cost
 	case pagetable.EvictFile:
-		// Refault of a dropped file page: re-read from storage.
-		const refaultNs = 20_000
-		event += refaultNs
-		m.cur.StallNs += refaultNs
+		// Refault of a dropped file page: re-read from storage, one read
+		// per base page of the frame.
+		refault := 20_000 * float64(m.framePages)
+		event += refault
+		m.cur.StallNs += refault
 	}
 	// Dirty-at-fault probability from the region's spec is applied by
 	// the workload indirectly: file pages written during warm-up are
@@ -831,6 +898,20 @@ func (m *Machine) fold() {
 	m.cur.DemotedPages = demote - m.prevDemote
 	m.prevPromote, m.prevDemote = promote, demote
 
+	// Extent-table churn surfaces as vmstat counters; the table is
+	// machine-global, so both attribute to node 0. Off huge mode both
+	// totals stay zero and this costs two loads per tick.
+	if m.huge {
+		if s := m.as.ExtentSplits(); s != m.prevSplits {
+			m.stat.Add(0, vmstat.ExtentSplit, s-m.prevSplits)
+			m.prevSplits = s
+		}
+		if g := m.as.ExtentMerges(); g != m.prevMerges {
+			m.stat.Add(0, vmstat.ExtentMerge, g-m.prevMerges)
+			m.prevMerges = g
+		}
+	}
+
 	// Per-node series plane: one compare on non-sample ticks; sample
 	// ticks snapshot every node's counter deltas and residency into the
 	// preallocated columns.
@@ -988,6 +1069,7 @@ func (m *Machine) finish() {
 			Counters:      m.stat.NodeSnapshot(n.ID),
 		})
 	}
+	m.run.MemStats = m.MemStats()
 	if m.failed {
 		return
 	}
@@ -1024,6 +1106,26 @@ func (m *Machine) NodeLevels(dst []series.Levels) []series.Levels {
 		})
 	}
 	return dst
+}
+
+// MemStats snapshots the simulator's own memory footprint: page-table
+// representation plus page store, and the bytes-per-simulated-resident-
+// page ratio that is the extent table's scaling headline.
+func (m *Machine) MemStats() metrics.MemStats {
+	fp := m.as.Footprint()
+	ms := metrics.MemStats{
+		Extents:       fp.Extents,
+		Splits:        fp.Splits,
+		Merges:        fp.Merges,
+		FramePages:    m.framePages,
+		ResidentPages: uint64(m.store.Live()) * m.framePages,
+		TableBytes:    fp.Bytes,
+		StoreBytes:    m.store.FootprintBytes(),
+	}
+	if ms.ResidentPages > 0 {
+		ms.BytesPerPage = float64(ms.TableBytes+ms.StoreBytes) / float64(ms.ResidentPages)
+	}
+	return ms
 }
 
 // Topology returns the machine topology.

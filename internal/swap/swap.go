@@ -51,6 +51,10 @@ type Device struct {
 	cfg  Config
 	used uint64
 	stat *vmstat.NodeStats
+	// framePages is the base pages per swapped PFN: 1 normally,
+	// mem.HugeFramePages in huge-page mode, where one PageOut spools a
+	// whole (split) 2 MB frame and occupancy/costs scale to match.
+	framePages uint64
 }
 
 // New returns a device with defaults filled in.
@@ -76,8 +80,12 @@ func New(cfg Config, stat *vmstat.NodeStats) *Device {
 			cfg.CompressionRatio = 1.0
 		}
 	}
-	return &Device{cfg: cfg, stat: stat}
+	return &Device{cfg: cfg, stat: stat, framePages: 1}
 }
+
+// SetFramePages sets the base pages each swapped PFN covers (a machine
+// property, set once by the simulator before any swap traffic).
+func (d *Device) SetFramePages(fp uint64) { d.framePages = fp }
 
 // Kind returns the device kind.
 func (d *Device) Kind() Kind { return d.cfg.Kind }
@@ -102,30 +110,34 @@ func (d *Device) SavedPages() float64 {
 // charged and false when the pool is full (reclaim must then skip the
 // page).
 func (d *Device) PageOut(node mem.NodeID) (costNs float64, ok bool) {
-	if d.cfg.CapacityPages != 0 && d.used >= d.cfg.CapacityPages {
+	if d.cfg.CapacityPages != 0 && d.used+d.framePages > d.cfg.CapacityPages {
 		return 0, false
 	}
-	d.used++
-	d.stat.Inc(node, vmstat.PswpOut)
-	return d.cfg.PageOutNs, true
+	// A huge frame is split into base pages on the way out (swap stores
+	// 4 KB pages), so occupancy and the per-page IO cost both scale.
+	d.used += d.framePages
+	d.stat.Add(node, vmstat.PswpOut, d.framePages)
+	return d.cfg.PageOutNs * float64(d.framePages), true
 }
 
 // PageIn services a major fault for a swapped page faulting back onto
 // the given node, returning the fault latency. It panics if the pool is
 // empty — a page-in without a matching page-out is an accounting bug.
 func (d *Device) PageIn(node mem.NodeID) (costNs float64) {
-	if d.used == 0 {
+	if d.used < d.framePages {
 		panic("swap: PageIn from empty pool")
 	}
-	d.used--
-	d.stat.Inc(node, vmstat.PswpIn)
+	d.used -= d.framePages
+	d.stat.Add(node, vmstat.PswpIn, d.framePages)
+	// One major fault services the whole frame (pgmajfault is
+	// per-event), but every base page pays the transfer.
 	d.stat.Inc(node, vmstat.PgmajFault)
-	return d.cfg.PageInNs
+	return d.cfg.PageInNs * float64(d.framePages)
 }
 
 // PageOutCost returns the configured page-out cost without performing one
 // (used by reclaim budgeting).
-func (d *Device) PageOutCost() float64 { return d.cfg.PageOutNs }
+func (d *Device) PageOutCost() float64 { return d.cfg.PageOutNs * float64(d.framePages) }
 
 // String summarizes the device.
 func (d *Device) String() string {

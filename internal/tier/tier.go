@@ -54,8 +54,9 @@ type Topology struct {
 
 	// Construction metadata, kept so Spec() can serialize the machine
 	// (trace headers record it for exact replay).
-	name     string
-	demoteSF float64
+	name      string
+	demoteSF  float64
+	hugePages bool
 
 	// Derived tier structure, computed once at assembly.
 	tiers         []int
@@ -451,6 +452,10 @@ func (t *Topology) DemoteScaleFactor() float64 {
 	return t.demoteSF
 }
 
+// HugePages reports whether the machine is backed by 2 MB huge pages
+// (Spec.HugePages at build time).
+func (t *Topology) HugePages() bool { return t.hugePages }
+
 // TotalCapacity returns the machine's total memory in pages.
 func (t *Topology) TotalCapacity() uint64 {
 	var s uint64
@@ -471,6 +476,7 @@ func (t *Topology) Spec() Spec {
 	s := Spec{
 		Name:              t.name,
 		DemoteScaleFactor: t.demoteSF,
+		HugePages:         t.hugePages,
 		Distance:          make([][]int, len(t.distance)),
 	}
 	for i, row := range t.distance {
@@ -523,6 +529,13 @@ type Spec struct {
 	// DemoteScaleFactor is the /proc/sys/vm/demote_scale_factor analogue
 	// (0 means the 2% default).
 	DemoteScaleFactor float64
+	// HugePages backs the machine with 2 MB huge pages: the simulator
+	// allocates, translates, migrates, and ages aligned 512-page frames
+	// as single units over an extent-compressed page table, which is
+	// what makes terabyte-scale machines simulable in bounded memory.
+	// Node capacities stay in base pages. Not serialized into trace
+	// headers (huge-page runs model scale, not byte-exact replay).
+	HugePages bool
 }
 
 // Validate checks the spec's structural invariants: at least one node,
@@ -639,6 +652,7 @@ func (s Spec) Build(workingSetPages uint64, slack float64) (*Topology, error) {
 	}
 	topo.name = s.Name
 	topo.demoteSF = sf
+	topo.hugePages = s.HugePages
 	return topo, nil
 }
 

@@ -45,7 +45,13 @@
 //     node of the first page of the region being split or merged;
 //   - mover_pages_moved: the destination node, matching
 //     pgmigrate_success; mover_budget_deferred: the node the deferred
-//     candidate currently resides on (the would-be source).
+//     candidate currently resides on (the would-be source);
+//   - thp_fault_alloc: the node the huge frame was allocated on;
+//     thp_split: the node the frame was reclaimed from; thp_collapse:
+//     the migration destination, matching pgmigrate_success;
+//   - extent_split and extent_merge: node 0 — the extent table is a
+//     property of the virtual address space, which has no resident
+//     node.
 package vmstat
 
 import (
@@ -133,6 +139,15 @@ const (
 	MoverPagesMoved      // pages migrated by the heat-driven mover
 	MoverBudgetDeferred  // move candidates deferred by the per-tick budget
 
+	// Huge-page mode (simulator extension, tier.Spec.HugePages): THP
+	// lifecycle events and the extent table's split/merge churn. Zero
+	// when huge pages are off.
+	ThpFaultAlloc // 2 MB frames allocated by demand faults
+	ThpSplit      // huge frames split by reclaim eviction
+	ThpCollapse   // huge frames migrated whole (one charge per frame)
+	ExtentSplit   // extent-table splits (lazy divergence)
+	ExtentMerge   // extent-table re-merges (neighbors reconverged)
+
 	numCounters
 )
 
@@ -197,6 +212,12 @@ var names = [NumCounters]string{
 	TrackerRegionsMerged: "tracker_regions_merged",
 	MoverPagesMoved:      "mover_pages_moved",
 	MoverBudgetDeferred:  "mover_budget_deferred",
+
+	ThpFaultAlloc: "thp_fault_alloc",
+	ThpSplit:      "thp_split",
+	ThpCollapse:   "thp_collapse",
+	ExtentSplit:   "extent_split",
+	ExtentMerge:   "extent_merge",
 }
 
 // String returns the counter's /proc/vmstat-style name.

@@ -132,6 +132,16 @@ type MachineConfig = sim.Config
 // produces bit-identical results; only wall-clock changes.
 const WorkersAuto = sim.WorkersAuto
 
+// ResolveWorkers reports the concrete worker count a
+// MachineConfig.Workers value resolves to on this host.
+var ResolveWorkers = sim.ResolveWorkers
+
+// MemStats is the simulator's own end-of-run memory footprint
+// (RunResult.MemStats, Machine.MemStats): extent count and split/merge
+// churn, page-table and page-store bytes, and the
+// bytes-per-simulated-resident-page scaling headline.
+type MemStats = metrics.MemStats
+
 // Machine is an assembled tiered-memory machine.
 type Machine = sim.Machine
 
